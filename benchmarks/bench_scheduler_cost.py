@@ -1,0 +1,67 @@
+"""Section 3.6 / Section 5 ablation — scheduler pass cost scaling.
+
+Times the *real Python implementations* of one lock-based RUA pass
+(``O(n^2 log n)``) and one lock-free RUA pass (``O(n^2)``) across job
+counts, demonstrating the asymptotic gap the paper attributes to the
+"aggregate computation" (dependency chains).  This is a genuine
+pytest-benchmark timing target, unlike the campaign benches.
+"""
+
+import random
+
+import pytest
+
+from repro.core.rua_lockbased import LockBasedRUA
+from repro.core.rua_lockfree import LockFreeRUA
+from repro.experiments.workloads import paper_taskset
+from repro.sim.locks import LockManager
+from repro.tasks.job import Job
+
+
+def _jobs_with_contention(n):
+    rng = random.Random(0)
+    tasks = paper_taskset(rng, n_tasks=n, accesses_per_job=2,
+                          target_load=0.5)
+    jobs = [Job(task=t, jid=0, release_time=0) for t in tasks]
+    locks = LockManager()
+    # Half the jobs hold their first-needed object, creating chains.
+    for job in jobs[: n // 2]:
+        obj = next(iter(job.task.accessed_objects))
+        job.segment_index = 0
+        if locks.owner_of(obj) is None:
+            locks.try_acquire(job, obj)
+            job.holds_lock = obj
+    return jobs, locks
+
+
+@pytest.mark.parametrize("n", [5, 10, 20, 40])
+def test_lockbased_rua_pass(benchmark, n):
+    jobs, locks = _jobs_with_contention(n)
+    policy = LockBasedRUA()
+    benchmark(lambda: policy.schedule(jobs, locks, now=0))
+
+
+@pytest.mark.parametrize("n", [5, 10, 20, 40])
+def test_lockfree_rua_pass(benchmark, n):
+    jobs, _ = _jobs_with_contention(n)
+    policy = LockFreeRUA()
+    benchmark(lambda: policy.schedule(jobs, None, now=0))
+
+
+def test_lockbased_pass_slower_than_lockfree():
+    """Direct wall-time comparison at one size (shape assertion kept out
+    of the timed benchmarks)."""
+    import time
+    jobs, locks = _jobs_with_contention(30)
+    lockbased = LockBasedRUA()
+    lockfree = LockFreeRUA()
+
+    def timed(fn, repeats=30):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        return time.perf_counter() - start
+
+    t_lb = timed(lambda: lockbased.schedule(jobs, locks, now=0))
+    t_lf = timed(lambda: lockfree.schedule(jobs, None, now=0))
+    assert t_lb > t_lf

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one figure/table of the paper (see DESIGN.md's
+per-experiment index): it runs the campaign once under pytest-benchmark's
+timer, prints the ASCII series table (the paper-shape artifact), and
+saves it under ``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def save_figure(name: str, text: str) -> None:
+    """Print and persist a rendered figure table."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def run_once_benchmark(benchmark, fn):
+    """Run a campaign exactly once under the benchmark timer (campaigns
+    are seconds-long simulations; statistical timing repeats are not
+    meaningful and would multiply runtime)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

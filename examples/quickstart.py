@@ -1,0 +1,39 @@
+"""Quickstart: compare lock-based and lock-free RUA on one workload.
+
+Builds a random 8-task / 6-queue workload at a configurable approximate
+load, runs it under all four sharing/scheduling styles, and prints the
+paper's headline metrics (AUR, CMR) plus the mechanism statistics that
+explain them (retries, blockings, scheduler overhead).
+
+Run:  python examples/quickstart.py [load]
+"""
+
+import sys
+
+from repro import quick_simulation
+
+
+def main() -> None:
+    load = float(sys.argv[1]) if len(sys.argv) > 1 else 1.1
+    print(f"Workload: 8 tasks, 6 shared queues, AL = {load}")
+    print(f"{'style':<10} {'AUR':>6} {'CMR':>6} {'jobs':>6} "
+          f"{'retries':>8} {'blocked':>8} {'sched overhead [us]':>20}")
+    for sync in ("ideal", "edf", "lockfree", "lockbased"):
+        summary = quick_simulation(
+            n_tasks=8, n_objects=6, sync=sync, load=load,
+            horizon_us=2_000_000, seed=42,
+        )
+        result = summary.result
+        print(f"{sync:<10} {summary.aur:6.3f} {summary.cmr:6.3f} "
+              f"{len(result.records):6d} {result.total_retries:8d} "
+              f"{result.total_blockings:8d} "
+              f"{result.scheduler_overhead_time / 1000:20.1f}")
+    print()
+    print("Expected shape (the paper's Figures 10-13): during underloads "
+          "(try load 0.4)\nevery style meets everything; during overloads "
+          "(load 1.1+) lock-free RUA\naccrues far more utility than "
+          "lock-based RUA.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Retry-bound study — Theorem 2 hands-on.
+
+Shows, for an interference-heavy workload under adversarial bursty UAM
+arrivals, how the measured per-job lock-free retries compare to the
+analytical bound f_i = 3 a_i + sum 2 a_j (ceil(C_i / W_j) + 1), and how
+the two retry policies (conservative ON_PREEMPTION vs realistic
+ON_CONFLICT) change the measurement but never the soundness.
+
+Also demonstrates the *real* Michael & Scott queue retrying under the
+interleaving VM, connecting the kernel-level retry model to the actual
+published algorithm.
+
+Run:  python examples/retry_bound_study.py
+"""
+
+import random
+
+from repro.analysis.retry_bound import retry_bound_for_taskset
+from repro.experiments.runner import run_once
+from repro.experiments.workloads import interference_taskset
+from repro.lockfree import MSQueue, VM, adversarial_scheduler
+from repro.sim.objects import RetryPolicy
+from repro.units import MS
+
+
+def kernel_level_study() -> None:
+    print("=== Kernel-level: simulated retries vs Theorem 2 bound ===")
+    rng = random.Random(3)
+    tasks = interference_taskset(rng)
+    bounds = [retry_bound_for_taskset(tasks, i) for i in range(len(tasks))]
+    print(f"{'task':<6} {'bound f_i':>9} "
+          f"{'max retries (preempt)':>22} {'max retries (conflict)':>23}")
+    worst = {}
+    for policy in (RetryPolicy.ON_PREEMPTION, RetryPolicy.ON_CONFLICT):
+        worst[policy] = {t.name: 0 for t in tasks}
+        for seed in range(3):
+            result = run_once(tasks, "lockfree", 400 * MS,
+                              random.Random(seed), arrival_style="bursty",
+                              retry_policy=policy)
+            for record in result.records:
+                worst[policy][record.task_name] = max(
+                    worst[policy][record.task_name], record.retries)
+    for index, task in enumerate(tasks):
+        print(f"{task.name:<6} {bounds[index]:9d} "
+              f"{worst[RetryPolicy.ON_PREEMPTION][task.name]:22d} "
+              f"{worst[RetryPolicy.ON_CONFLICT][task.name]:23d}")
+    print()
+
+
+def structure_level_study() -> None:
+    print("=== Structure-level: Michael & Scott queue under an "
+          "adversarial VM ===")
+    for burst in (1, 2, 4, 8):
+        queue = MSQueue()
+        vm = VM(scheduler=adversarial_scheduler(burst=burst), seed=1)
+        for producer in range(6):
+            def body(pid=producer):
+                for v in range(10):
+                    yield from queue.enqueue((pid, v))
+            vm.spawn(f"p{producer}", body())
+        vm.run()
+        drained = len(queue.drain_sequential())
+        print(f"burst={burst}: {queue.total_retries:3d} CAS retries "
+              f"across 60 enqueues; all {drained} elements intact")
+    print()
+    print("Shorter scheduler bursts = more mid-operation preemptions = "
+          "more retries,\nyet every element survives: lock-freedom "
+          "trades retries for progress, never\ncorrectness — the "
+          "tradeoff Theorem 3 prices.")
+
+
+def main() -> None:
+    kernel_level_study()
+    structure_level_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e . --no-use-pep517`` works in offline
+environments whose setuptools lacks the ``wheel`` package required by the
+PEP 517 editable-install path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

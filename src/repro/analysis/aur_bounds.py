@@ -1,0 +1,104 @@
+"""Lemmas 4 and 5: AUR bounds under the UAM.
+
+For feasible jobs with non-increasing TUFs, the long-run Accrued Utility
+Ratio of lock-free sharing satisfies
+
+    sum_i (l_i/W_i) U_i(u_i + s m_i + I_i + R_i)      sum_i (a_i/W_i) U_i(u_i + s m_i)
+    --------------------------------------------  <  AUR  <  -----------------------------
+    sum_i (l_i/W_i) U_i(0)                            sum_i (a_i/W_i) U_i(0)
+
+(Lemma 4), and the lock-based analogue replaces ``s``/``R_i`` with
+``r``/``B_i`` (Lemma 5).  The lower bound pairs the minimum UAM job count
+``l_i floor(dt/W_i)`` with the longest feasible sojourn; the upper bound
+pairs the maximum count ``a_i (ceil(dt/W_i)+1)`` with the shortest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tasks.task import TaskSpec
+
+
+@dataclass(frozen=True)
+class AURBounds:
+    lower: float
+    upper: float
+
+    def contains(self, aur: float, slack: float = 0.0) -> bool:
+        """Whether a measured AUR falls inside (with optional numeric
+        slack for finite-horizon effects)."""
+        return self.lower - slack <= aur <= self.upper + slack
+
+
+def _weighted_aur(tasks: list[TaskSpec], weights: list[float],
+                  sojourns: list[float]) -> float:
+    numerator = 0.0
+    denominator = 0.0
+    for task, weight, sojourn in zip(tasks, weights, sojourns):
+        numerator += weight * task.tuf.utility(round(sojourn))
+        denominator += weight * task.tuf.utility(0)
+    if denominator == 0:
+        raise ValueError("task set has zero utility at zero sojourn")
+    return numerator / denominator
+
+
+def _check_non_increasing(tasks: list[TaskSpec]) -> None:
+    for task in tasks:
+        if not task.tuf.is_non_increasing():
+            raise ValueError(
+                f"Lemmas 4/5 require non-increasing TUFs; task "
+                f"{task.name} violates this"
+            )
+
+
+def lemma4_lockfree_aur_bounds(tasks: list[TaskSpec],
+                               s: float,
+                               interference: list[float],
+                               retry_time: list[float]) -> AURBounds:
+    """Lemma 4 bounds for lock-free sharing.
+
+    ``interference[i]`` is ``I_i`` and ``retry_time[i]`` is ``R_i`` for
+    task ``i``; the per-task worst sojourn is
+    ``u_i + s m_i + I_i + R_i`` and the best is ``u_i + s m_i``.
+    """
+    _check_non_increasing(tasks)
+    if not (len(tasks) == len(interference) == len(retry_time)):
+        raise ValueError("per-task vectors must align with the task list")
+    lower_weights = [t.arrival.min_arrivals / t.arrival.window for t in tasks]
+    upper_weights = [t.arrival.max_arrivals / t.arrival.window for t in tasks]
+    worst = [
+        t.compute_time + s * t.access_count + i + rt
+        for t, i, rt in zip(tasks, interference, retry_time)
+    ]
+    best = [t.compute_time + s * t.access_count for t in tasks]
+    if all(w == 0 for w in lower_weights):
+        lower = 0.0
+    else:
+        lower = _weighted_aur(tasks, lower_weights, worst)
+    upper = _weighted_aur(tasks, upper_weights, best)
+    return AURBounds(lower=lower, upper=upper)
+
+
+def lemma5_lockbased_aur_bounds(tasks: list[TaskSpec],
+                                r: float,
+                                interference: list[float],
+                                blocking_time: list[float]) -> AURBounds:
+    """Lemma 5 bounds for lock-based sharing (``B_i`` in place of
+    ``R_i``, ``r`` in place of ``s``)."""
+    _check_non_increasing(tasks)
+    if not (len(tasks) == len(interference) == len(blocking_time)):
+        raise ValueError("per-task vectors must align with the task list")
+    lower_weights = [t.arrival.min_arrivals / t.arrival.window for t in tasks]
+    upper_weights = [t.arrival.max_arrivals / t.arrival.window for t in tasks]
+    worst = [
+        t.compute_time + r * t.access_count + i + bt
+        for t, i, bt in zip(tasks, interference, blocking_time)
+    ]
+    best = [t.compute_time + r * t.access_count for t in tasks]
+    if all(w == 0 for w in lower_weights):
+        lower = 0.0
+    else:
+        lower = _weighted_aur(tasks, lower_weights, worst)
+    upper = _weighted_aur(tasks, upper_weights, best)
+    return AURBounds(lower=lower, upper=upper)

@@ -1,0 +1,53 @@
+"""Lemma 1: preemption counting under UA schedulers.
+
+UA schedulers such as RUA are *fully dynamic* (a job's execution
+eligibility changes over time), so — unlike static or job-level-dynamic
+schedulers where one job preempts another at most once — two jobs can
+preempt each other repeatedly (the paper's Figure 6).  What still bounds
+the preemptions a job suffers is the number of *scheduling events* that
+invoke the scheduler during the interval of interest: a preemption can
+only happen when the scheduler runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arrivals.spec import UAMSpec
+
+
+def releases_in_interval(spec: UAMSpec, interval: int) -> int:
+    """Maximum job releases a UAM task can produce inside any interval of
+    the given length: ``a * (ceil(interval / W) + 1)`` — the counting
+    argument of Theorem 2's Case 1 (bursts at the far edges of the first
+    and last overlapped windows)."""
+    if interval < 0:
+        raise ValueError("interval must be non-negative")
+    if interval == 0:
+        return spec.max_arrivals
+    return spec.max_arrivals * (math.ceil(interval / spec.window) + 1)
+
+
+def max_scheduling_events(specs: list[UAMSpec], observer_index: int,
+                          interval: int) -> int:
+    """Lemma 1 applied to a UAM task set under lock-free RUA: the maximum
+    number of scheduling events that can invoke the scheduler within an
+    interval of length ``interval`` following a release of the observer
+    task.
+
+    Under lock-free sharing, scheduling events are job arrivals and
+    departures only.  Each job released inside the interval contributes at
+    most two events (arrival + departure-or-abort); the observer's own
+    task additionally contributes completions of jobs released up to
+    ``interval`` *before* the window, for ``3 a_i`` total (Theorem 2's
+    Case 2).
+    """
+    if not 0 <= observer_index < len(specs):
+        raise IndexError("observer_index out of range")
+    observer = specs[observer_index]
+    total = 3 * observer.max_arrivals
+    for index, spec in enumerate(specs):
+        if index == observer_index:
+            continue
+        total += 2 * releases_in_interval(spec, interval)
+    return total

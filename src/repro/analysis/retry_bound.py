@@ -1,0 +1,57 @@
+"""Theorem 2: the lock-free retry bound under the UAM.
+
+For a job ``J_i`` of a task with UAM ``<l_i, a_i, W_i>`` and critical time
+``C_i``, scheduled by RUA over lock-free objects, the total number of
+retries is bounded by
+
+    f_i <= 3 a_i + sum_{j != i} 2 a_j (ceil(C_i / W_j) + 1)
+
+— the first retry bound under a non-periodic arrival model.  The bound is
+the maximum number of scheduling events in ``[t_0, t_0 + C_i]`` (each of
+which can cause at most one retry, Lemma 1), and is independent of how
+many lock-free objects the job accesses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arrivals.spec import UAMSpec
+from repro.tasks.task import TaskSpec
+
+
+def interference_events(observer: UAMSpec, others: list[UAMSpec],
+                        critical_time: int) -> int:
+    """The ``x_i``-style event count from other tasks:
+    ``sum_j a_j (ceil(C_i / W_j) + 1)`` (before the factor of 2)."""
+    if critical_time <= 0:
+        raise ValueError("critical time must be positive")
+    return sum(
+        spec.max_arrivals * (math.ceil(critical_time / spec.window) + 1)
+        for spec in others
+    )
+
+
+def retry_bound(observer: UAMSpec, others: list[UAMSpec],
+                critical_time: int) -> int:
+    """Theorem 2's ``f_i`` for an observer task among ``others``."""
+    return (3 * observer.max_arrivals
+            + 2 * interference_events(observer, others, critical_time))
+
+
+def retry_bound_for_taskset(tasks: list[TaskSpec], index: int) -> int:
+    """Theorem 2 applied to task ``index`` of a concrete task set."""
+    if not 0 <= index < len(tasks):
+        raise IndexError("task index out of range")
+    observer = tasks[index]
+    others = [t.arrival for i, t in enumerate(tasks) if i != index]
+    return retry_bound(observer.arrival, others, observer.critical_time)
+
+
+def x_i(observer_index: int, tasks: list[TaskSpec]) -> int:
+    """The paper's ``x_i = sum_{j != i} a_j (ceil(C_i / W_j) + 1)``,
+    used by Theorem 3."""
+    observer = tasks[observer_index]
+    others = [t.arrival for i, t in enumerate(tasks) if i != observer_index]
+    return interference_events(observer.arrival, others,
+                               observer.critical_time)

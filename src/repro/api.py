@@ -1,0 +1,123 @@
+"""High-level convenience API.
+
+:func:`quick_simulation` wires together the full stack — random task set,
+UAM arrival generation, scheduler policy, kernel — for one-call
+experiments.  The experiment harness in :mod:`repro.experiments` uses the
+same building blocks with the paper's exact workload parameters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.arrivals.generators import generator_for
+from repro.core.edf import EDF
+from repro.core.rua_lockbased import LockBasedRUA
+from repro.core.rua_lockfree import LockFreeRUA
+from repro.sim.kernel import Kernel, SimulationConfig, SyncMode
+from repro.sim.metrics import SimulationResult
+from repro.sim.overheads import KernelCosts
+from repro.tasks.task import TaskSpec
+from repro.tasks.taskset import approximate_load
+
+
+@dataclass(frozen=True)
+class SimulationSummary:
+    """Headline numbers of one run, with the full result attached."""
+
+    policy: str
+    sync: str
+    load: float
+    aur: float
+    cmr: float
+    result: SimulationResult
+
+    def __str__(self) -> str:
+        return (
+            f"{self.policy}/{self.sync}: AL={self.load:.2f} "
+            f"AUR={self.aur:.3f} CMR={self.cmr:.3f} "
+            f"({len(self.result.records)} jobs, "
+            f"{self.result.total_retries} retries, "
+            f"{self.result.total_blockings} blockings)"
+        )
+
+
+def build_policy_and_mode(sync: str):
+    """Map a sync style name to (policy, SyncMode, KernelCosts).
+
+    * ``"lockfree"`` — lock-free RUA over lock-free objects;
+    * ``"lockbased"`` — lock-based RUA over locks;
+    * ``"ideal"`` — lock-free RUA over ideal (zero-cost) objects, the
+      paper's "ideal RUA" baseline;
+    * ``"edf"`` — EDF over ideal objects.
+    """
+    if sync == "lockfree":
+        return LockFreeRUA(), SyncMode.LOCK_FREE, KernelCosts()
+    if sync == "lockbased":
+        return LockBasedRUA(), SyncMode.LOCK_BASED, KernelCosts()
+    if sync == "ideal":
+        return LockFreeRUA(), SyncMode.NONE, KernelCosts.ideal()
+    if sync == "edf":
+        return EDF(), SyncMode.NONE, KernelCosts.ideal()
+    raise ValueError(f"unknown sync style {sync!r}")
+
+
+def simulate(tasks: list[TaskSpec], sync: str, horizon: int, seed: int,
+             arrival_style: str = "uniform",
+             trace: bool = False) -> SimulationSummary:
+    """Run one simulation of ``tasks`` under the given sync style."""
+    rng = random.Random(seed)
+    traces = [
+        generator_for(task.arrival, arrival_style).generate(rng, horizon)
+        for task in tasks
+    ]
+    policy, mode, costs = build_policy_and_mode(sync)
+    config = SimulationConfig(
+        tasks=tasks,
+        arrival_traces=traces,
+        policy=policy,
+        horizon=horizon,
+        sync=mode,
+        costs=costs,
+        trace=trace,
+    )
+    result = Kernel(config).run()
+    return SimulationSummary(
+        policy=policy.name,
+        sync=sync,
+        load=approximate_load(tasks),
+        aur=result.aur,
+        cmr=result.cmr,
+        result=result,
+    )
+
+
+def quick_simulation(n_tasks: int = 5,
+                     n_objects: int = 3,
+                     sync: str = "lockfree",
+                     load: float = 0.8,
+                     horizon_us: int = 500_000,
+                     seed: int = 0,
+                     tuf_class: str = "step",
+                     arrival_style: str = "uniform") -> SimulationSummary:
+    """One-call random-workload simulation (see the package docstring).
+
+    ``horizon_us`` is in microseconds for convenience; everything else in
+    the package uses nanosecond ticks.
+    """
+    from repro.experiments.workloads import paper_taskset
+
+    rng = random.Random(seed)
+    tasks = paper_taskset(
+        rng,
+        n_tasks=n_tasks,
+        n_objects=n_objects,
+        accesses_per_job=min(2, n_objects),
+        avg_exec=300_000,                   # 300 µs
+        access_duration=5_000,              # 5 µs per operation
+        tuf_class=tuf_class,
+        target_load=load,
+    )
+    return simulate(tasks, sync=sync, horizon=horizon_us * 1_000,
+                    seed=seed + 1, arrival_style=arrival_style)

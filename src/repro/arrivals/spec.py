@@ -1,0 +1,81 @@
+"""UAM arrival specification ``<l, a, W>``."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UAMSpec:
+    """Unimodal Arbitrary arrival Model tuple ``<l, a, W>``.
+
+    ``min_arrivals`` (``l``) and ``max_arrivals`` (``a``) bound the number
+    of job arrivals of the task in any sliding window of ``window`` (``W``)
+    time ticks (ns).  ``<1, 1, W>`` recovers the periodic model with period
+    ``W``; ``l = 0`` recovers sporadic-like behaviour where windows may be
+    empty.
+    """
+
+    min_arrivals: int
+    max_arrivals: int
+    window: int
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if self.min_arrivals < 0:
+            raise ValueError(
+                f"min_arrivals must be non-negative, got {self.min_arrivals}"
+            )
+        if self.max_arrivals < 1:
+            raise ValueError(
+                f"max_arrivals must be at least 1, got {self.max_arrivals}"
+            )
+        if self.min_arrivals > self.max_arrivals:
+            raise ValueError(
+                f"min_arrivals ({self.min_arrivals}) exceeds "
+                f"max_arrivals ({self.max_arrivals})"
+            )
+
+    @property
+    def is_periodic(self) -> bool:
+        """True for the ``<1, 1, W>`` special case."""
+        return self.min_arrivals == 1 and self.max_arrivals == 1
+
+    @property
+    def peak_rate(self) -> float:
+        """Maximum sustainable arrival rate, jobs per time tick."""
+        return self.max_arrivals / self.window
+
+    @property
+    def guaranteed_rate(self) -> float:
+        """Minimum long-run arrival rate, jobs per time tick."""
+        return self.min_arrivals / self.window
+
+    def max_arrivals_in(self, interval: int) -> int:
+        """Upper bound on arrivals in any interval of the given length.
+
+        This is the counting argument of the paper's Theorem 2 proof: an
+        interval of length ``interval`` overlaps at most
+        ``ceil(interval / W) + 1`` windows' worth of bursts, so at most
+        ``a * (ceil(interval / W) + 1)`` arrivals fit in it.  (Holds also
+        when ``interval < W``, where the bound evaluates to ``2a``.)
+        """
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        if interval == 0:
+            return self.max_arrivals
+        return self.max_arrivals * (math.ceil(interval / self.window) + 1)
+
+    def min_arrivals_in(self, interval: int) -> int:
+        """Lower bound on arrivals in any interval of the given length:
+        ``l * floor(interval / W)`` (the bound used in Lemma 4's proof)."""
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        return self.min_arrivals * (interval // self.window)
+
+    @classmethod
+    def periodic(cls, period: int) -> "UAMSpec":
+        """The periodic special case ``<1, 1, period>``."""
+        return cls(min_arrivals=1, max_arrivals=1, window=period)

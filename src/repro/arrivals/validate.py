@@ -1,0 +1,116 @@
+"""Exact sliding-window validation of arrival traces against a UAM spec.
+
+Windows are half-open intervals ``[t, t + W)``.  With that convention an
+evenly spaced grid with spacing ``W / l`` puts *exactly* ``l`` arrivals in
+every window, which the generators exploit to enforce the lower bound.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.arrivals.spec import UAMSpec
+
+
+@dataclass(frozen=True)
+class UAMViolation:
+    """A window in which the trace breaks the UAM bounds."""
+
+    window_start: int
+    count: int
+    kind: str  # "max" or "min"
+
+    def __str__(self) -> str:
+        return (
+            f"UAM {self.kind}-violation: window [{self.window_start}, "
+            f"...) holds {self.count} arrivals"
+        )
+
+
+def max_arrivals_in_any_window(times: list[int], window: int) -> int:
+    """Largest number of arrivals in any half-open window of the given
+    length.  ``times`` must be sorted; simultaneous arrivals are allowed.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    best = 0
+    left = 0
+    for right, t in enumerate(times):
+        while times[left] <= t - window:
+            left += 1
+        best = max(best, right - left + 1)
+    return best
+
+
+def min_arrivals_in_any_window(times: list[int], window: int,
+                               horizon: int) -> int:
+    """Smallest number of arrivals in any half-open window of the given
+    length that fits entirely inside ``[0, horizon)``.
+
+    Only windows fully inside the observation horizon are considered, since
+    the trace says nothing about arrivals beyond it.  The minimum count is
+    attained by some window starting at an arrival time, immediately after
+    an arrival time, or at 0 — we scan those candidate starts.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if horizon < window:
+        raise ValueError("horizon must be at least one window long")
+    # The count only changes when an arrival leaves the window (start
+    # t + 1) or enters at its right edge (start t - window + 1); the
+    # minimum is attained at one of those change points or at the horizon
+    # boundaries.
+    candidates = {0, horizon - window}
+    for t in times:
+        for start in (t + 1, t - window + 1):
+            if 0 <= start <= horizon - window:
+                candidates.add(start)
+    best = None
+    for start in candidates:
+        if start < 0 or start + window > horizon:
+            continue
+        lo = bisect.bisect_left(times, start)
+        hi = bisect.bisect_left(times, start + window)
+        count = hi - lo
+        if best is None or count < best:
+            best = count
+    return 0 if best is None else best
+
+
+def check_uam(times: list[int], spec: UAMSpec,
+              horizon: int | None = None) -> list[UAMViolation]:
+    """Return all UAM violations of a sorted arrival trace.
+
+    The max bound is checked over every window anchored at an arrival; the
+    min bound (only when ``horizon`` is given) over every fully contained
+    window.  An empty list means the trace conforms to ``spec``.
+    """
+    if any(b < a for a, b in zip(times, times[1:])):
+        raise ValueError("arrival times must be sorted")
+    violations: list[UAMViolation] = []
+    left = 0
+    for right, t in enumerate(times):
+        while times[left] <= t - spec.window:
+            left += 1
+        count = right - left + 1
+        if count > spec.max_arrivals:
+            violations.append(
+                UAMViolation(window_start=times[left], count=count, kind="max")
+            )
+    if horizon is not None and spec.min_arrivals > 0:
+        if horizon >= spec.window:
+            candidates = {0, horizon - spec.window}
+            for t in times:
+                for start in (t + 1, t - spec.window + 1):
+                    if 0 <= start <= horizon - spec.window:
+                        candidates.add(start)
+            for start in sorted(candidates):
+                lo = bisect.bisect_left(times, start)
+                hi = bisect.bisect_left(times, start + spec.window)
+                count = hi - lo
+                if count < spec.min_arrivals:
+                    violations.append(
+                        UAMViolation(window_start=start, count=count, kind="min")
+                    )
+    return violations

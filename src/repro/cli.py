@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``quick`` — one random-workload simulation per sharing style;
+* ``figure`` — run one of the paper's figure campaigns (reduced settings
+  by default; ``--repeats``/``--horizon-ms`` scale it up);
+* ``retrybound`` — the Theorem 2 validation campaign;
+* ``sojourn`` — evaluate the Theorem 3 comparison for given parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.sojourn import compare_sojourn
+from repro.api import quick_simulation
+from repro.experiments import figures
+from repro.units import MS
+
+FIGURES = {
+    "fig8": figures.fig8,
+    "fig9": figures.fig9,
+    "fig10": figures.fig10,
+    "fig11": figures.fig11,
+    "fig12": figures.fig12,
+    "fig13": figures.fig13,
+    "fig14": figures.fig14,
+    "thm2": figures.thm2_validation,
+    "lemma45": figures.lemma45_validation,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Lock-Free Synchronization for "
+                     "Dynamic Embedded Real-Time Systems' (DATE 2006)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quick = sub.add_parser("quick", help="one-shot workload comparison")
+    quick.add_argument("--tasks", type=int, default=8)
+    quick.add_argument("--objects", type=int, default=6)
+    quick.add_argument("--load", type=float, default=1.1)
+    quick.add_argument("--horizon-ms", type=int, default=1000)
+    quick.add_argument("--seed", type=int, default=42)
+    quick.add_argument("--tuf-class", choices=["step", "hetero"],
+                       default="step")
+    quick.add_argument("--sync", action="append",
+                       choices=["ideal", "edf", "lockfree", "lockbased"],
+                       help="repeatable; default: all four")
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("--repeats", type=int, default=3)
+    figure.add_argument("--horizon-ms", type=int, default=100)
+
+    retry = sub.add_parser("retrybound",
+                           help="Theorem 2 retry-bound validation")
+    retry.add_argument("--repeats", type=int, default=3)
+    retry.add_argument("--horizon-ms", type=int, default=300)
+
+    sojourn = sub.add_parser("sojourn",
+                             help="Theorem 3 sojourn comparison")
+    sojourn.add_argument("--r", type=float, required=True,
+                         help="lock-based access time")
+    sojourn.add_argument("--s", type=float, required=True,
+                         help="lock-free access time")
+    sojourn.add_argument("--m", type=int, default=4,
+                         help="accesses per job (m_i)")
+    sojourn.add_argument("--a", type=int, default=1,
+                         help="max arrivals per window (a_i)")
+    sojourn.add_argument("--x", type=int, default=4,
+                         help="interference events (x_i)")
+    sojourn.add_argument("--u", type=int, default=1000,
+                         help="pure compute time (u_i)")
+    sojourn.add_argument("--interference", type=int, default=0)
+    return parser
+
+
+def _cmd_quick(args) -> int:
+    syncs = args.sync or ["ideal", "edf", "lockfree", "lockbased"]
+    print(f"{'style':<10} {'AUR':>6} {'CMR':>6} {'jobs':>6} "
+          f"{'retries':>8} {'blocked':>8}")
+    for sync in syncs:
+        summary = quick_simulation(
+            n_tasks=args.tasks, n_objects=args.objects, sync=sync,
+            load=args.load, horizon_us=args.horizon_ms * 1000,
+            seed=args.seed, tuf_class=args.tuf_class,
+        )
+        result = summary.result
+        print(f"{sync:<10} {summary.aur:6.3f} {summary.cmr:6.3f} "
+              f"{len(result.records):6d} {result.total_retries:8d} "
+              f"{result.total_blockings:8d}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    fn = FIGURES[args.name]
+    if args.name == "fig9":
+        result = fn(repeats=max(1, args.repeats // 3))
+    else:
+        result = fn(repeats=args.repeats, horizon=args.horizon_ms * MS)
+    print(result.render())
+    return 0
+
+
+def _cmd_retrybound(args) -> int:
+    result = figures.thm2_validation(repeats=args.repeats,
+                                     horizon=args.horizon_ms * MS)
+    print(result.render())
+    measured, bound = result.series
+    violated = any(m.mean > b.mean for m, b in
+                   zip(measured.estimates, bound.estimates))
+    print("BOUND VIOLATED" if violated else "bound holds for every task")
+    return 1 if violated else 0
+
+
+def _cmd_sojourn(args) -> int:
+    n = 2 * args.a + args.x   # worst-case n_i
+    comparison = compare_sojourn(
+        u_i=args.u, interference=args.interference, r=args.r, s=args.s,
+        m_i=args.m, n_i=n, a_i=args.a, x_i=args.x,
+    )
+    print(f"s/r = {comparison.ratio:.4f}")
+    print(f"paper threshold  (Thm 3 as stated): {comparison.paper_threshold:.4f}")
+    print(f"exact threshold  (from the proof):  {comparison.exact_threshold:.4f}")
+    print(f"worst-case sojourn, lock-based: {comparison.lockbased:.1f}")
+    print(f"worst-case sojourn, lock-free:  {comparison.lockfree:.1f}")
+    winner = "lock-free" if comparison.lockfree_wins else "lock-based"
+    print(f"shorter worst-case sojourn: {winner}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "quick":
+        return _cmd_quick(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "retrybound":
+        return _cmd_retrybound(args)
+    if args.command == "sojourn":
+        return _cmd_sojourn(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

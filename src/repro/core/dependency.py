@@ -1,0 +1,109 @@
+"""Dependency-chain computation (Section 3.1).
+
+A job ``T_1`` that needs a resource held by ``T_2`` is *directly*
+dependent on ``T_2``; chains arise transitively.  The chain of a job is
+the sequence ``<T_n, ..., T_2, T_1>`` meaning ``T_n`` must execute (at
+least up to its lock release) before ``T_{n-1}``, and so on, to respect
+the chained mutual-exclusion dependency at the current instant.
+
+Dependencies are derived purely from kernel state: a job depends on the
+owner of the object it is blocked on, or — equivalently for scheduling
+purposes — the owner of the object its next unacquired access segment
+needs.  Without nested critical sections a chain has length at most 2;
+with nesting, chains can be ``O(n)`` long and can form cycles
+(deadlocks), which :func:`dependency_chain` reports by raising
+:class:`DeadlockDetected`.
+"""
+
+from __future__ import annotations
+
+from repro.sim.locks import LockManager, ObjectId
+from repro.tasks.job import Job
+from repro.tasks.segments import ObjectAccess
+
+
+class DeadlockDetected(Exception):
+    """The dependency chain closed on itself (Section 3.3).
+
+    ``cycle`` lists the jobs on the cycle, in dependency order.
+    """
+
+    def __init__(self, cycle: list[Job]) -> None:
+        names = " -> ".join(j.name for j in cycle)
+        super().__init__(f"deadlock cycle: {names}")
+        self.cycle = cycle
+
+
+def needed_object(job: Job) -> ObjectId | None:
+    """The object the job needs next but does not hold: the object of its
+    current access segment when unacquired, else None."""
+    segment = job.current_segment
+    if not isinstance(segment, ObjectAccess):
+        return None
+    if segment.obj == job.holds_lock or segment.obj in job.held_locks:
+        return None
+    return segment.obj
+
+
+def blocking_owner(job: Job, locks: LockManager,
+                   ignore: frozenset[Job] | set[Job] = frozenset()
+                   ) -> Job | None:
+    """The job that ``job`` directly depends on right now, or None.
+
+    ``ignore`` lists jobs slated for abortion (deadlock victims): their
+    locks are about to be rolled back, so edges into them are treated as
+    already broken.
+    """
+    obj = needed_object(job)
+    if obj is None:
+        return None
+    owner = locks.owner_of(obj)
+    if owner is job or owner in ignore:
+        return None
+    return owner
+
+
+def dependency_chain(job: Job, locks: LockManager | None,
+                     ignore: frozenset[Job] | set[Job] = frozenset(),
+                     on_cycle: str = "raise") -> list[Job]:
+    """The job's dependency chain, head first (deepest dependency first,
+    the job itself last) — the order in which the chain must execute.
+
+    ``on_cycle`` selects the behaviour when the chain closes on itself:
+    ``"raise"`` raises :class:`DeadlockDetected` (the default — RUA's
+    Step 3 wants to know); ``"truncate"`` stops the walk at the repeated
+    job, covering the cycle once (used when deadlock detection is
+    deliberately disabled and the scheduler must still produce *some*
+    order).
+    """
+    if locks is None:
+        return [job]
+    chain = [job]
+    seen = {job}
+    current = job
+    while True:
+        owner = blocking_owner(current, locks, ignore)
+        if owner is None:
+            break
+        if owner in seen:
+            if on_cycle == "truncate":
+                break
+            # Cut the cycle out of the chain for the error report: it
+            # starts where `owner` first appeared.
+            start = chain.index(owner)
+            raise DeadlockDetected(cycle=list(reversed(chain[start:])))
+        chain.append(owner)
+        seen.add(owner)
+        current = owner
+    chain.reverse()
+    return chain
+
+
+def all_dependency_chains(jobs: list[Job],
+                          locks: LockManager | None,
+                          ignore: frozenset[Job] | set[Job] = frozenset(),
+                          on_cycle: str = "raise"
+                          ) -> dict[Job, list[Job]]:
+    """Chains for every job (the ``O(n^2)`` Step 1 of Section 3.6)."""
+    return {job: dependency_chain(job, locks, ignore, on_cycle)
+            for job in jobs}

@@ -1,0 +1,30 @@
+"""Earliest-Deadline-First baseline.
+
+EDF orders jobs by absolute critical time.  It is optimal during
+underloads on a uniprocessor (all deadlines met), which is why RUA — and
+UA scheduling generally — defaults to EDF-equivalent behaviour there
+(Section 1); during overloads EDF collapses (the classical domino
+effect), which is what UA scheduling exists to fix.
+"""
+
+from __future__ import annotations
+
+from repro.core.interface import SchedulerPolicy
+from repro.sim.locks import LockManager
+from repro.sim.overheads import CostModel, default_edf_cost
+from repro.tasks.job import Job
+
+
+class EDF(SchedulerPolicy):
+    """Deadline (critical-time) ordered dispatch; job-level dynamic
+    priorities."""
+
+    name = "edf"
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        super().__init__()
+        self.cost_model = cost_model or default_edf_cost()
+
+    def schedule(self, jobs: list[Job], locks: LockManager | None,
+                 now: int) -> list[Job]:
+        return sorted(jobs, key=lambda job: (job.critical_time_abs, job.name))

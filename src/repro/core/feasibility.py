@@ -1,0 +1,35 @@
+"""Schedule feasibility testing (Section 3.4).
+
+A tentative schedule is feasible when executing its jobs in order, each
+job completes no later than its *effective* critical time (the critical
+time possibly tightened by dependency-order inheritance during insertion,
+Section 3.4.1).
+"""
+
+from __future__ import annotations
+
+from repro.tasks.job import Job
+
+
+def is_feasible(schedule: list[Job], effective_ct: dict[Job, int],
+                now: int) -> bool:
+    """True when every job in the ordered schedule meets its effective
+    critical time, assuming back-to-back execution from ``now``."""
+    t = now
+    for job in schedule:
+        t += job.remaining_time()
+        limit = effective_ct.get(job, job.critical_time_abs)
+        if t > limit:
+            return False
+    return True
+
+
+def completion_profile(schedule: list[Job], now: int) -> list[tuple[Job, int]]:
+    """Projected ``(job, completion time)`` pairs for the ordered
+    schedule (diagnostics and tests)."""
+    profile = []
+    t = now
+    for job in schedule:
+        t += job.remaining_time()
+        profile.append((job, t))
+    return profile

@@ -1,0 +1,52 @@
+"""Scheduler policy interface.
+
+A policy is a pure decision procedure: given the live jobs, the lock state
+(None under lock-free or no sharing) and the current time, it returns the
+jobs in execution-eligibility order.  The kernel dispatches the first
+dispatchable job of that order and charges ``cost_model(n)`` of simulated
+CPU time for the pass.
+
+Jobs *absent* from the returned order are rejected for this scheduling
+event (RUA drops infeasible jobs from its tentative schedule); they remain
+live and will be reconsidered at the next event or aborted at their
+critical times.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.sim.locks import LockManager
+from repro.sim.overheads import CostModel
+from repro.tasks.job import Job
+
+
+class SchedulerPolicy(ABC):
+    """Base class for scheduling policies driven by the kernel."""
+
+    #: Human-readable policy name (used in reports).
+    name: str = "policy"
+    #: Simulated cost charged per scheduling pass.
+    cost_model: CostModel
+
+    def __init__(self) -> None:
+        self._deadlock_victims: list[Job] = []
+
+    @abstractmethod
+    def schedule(self, jobs: list[Job], locks: LockManager | None,
+                 now: int) -> list[Job]:
+        """Return jobs in eligibility order (head runs first)."""
+
+    # ------------------------------------------------------------------
+    # Deadlock resolution channel (lock-based RUA with nesting only)
+    # ------------------------------------------------------------------
+
+    def request_abort(self, job: Job) -> None:
+        """Ask the kernel to abort ``job`` (deadlock resolution,
+        Section 3.3).  The kernel collects requests after each pass."""
+        self._deadlock_victims.append(job)
+
+    def consume_abort_requests(self) -> list[Job]:
+        victims = self._deadlock_victims
+        self._deadlock_victims = []
+        return victims

@@ -1,0 +1,46 @@
+"""Potential Utility Density (Section 3.2).
+
+The PUD of a job measures the utility that can be accrued per unit time by
+executing the job together with its dependents:
+
+    PUD(T_i) = (U_i(t_f) + sum_{T_j in Dep} U_j(t_j)) / (t_f - t)
+
+where the completion estimates ``t_j`` and ``t_f`` come from executing the
+dependency chain head-to-tail starting now.  The estimates assume the
+chain runs at the front of the schedule and that jobs release resources
+when they complete — the PUD is therefore the *highest possible* return on
+investment given current knowledge (the paper's footnote 5).
+"""
+
+from __future__ import annotations
+
+from repro.tasks.job import Job
+
+
+def completion_estimates(chain: list[Job], now: int) -> list[int]:
+    """Estimated completion times of each chain job, head first, assuming
+    the chain executes back-to-back starting at ``now``."""
+    estimates = []
+    t = now
+    for job in chain:
+        t += job.remaining_time()
+        estimates.append(t)
+    return estimates
+
+
+def chain_pud(chain: list[Job], now: int) -> float:
+    """PUD of the chain's tail job (the job whose chain this is).
+
+    A chain with zero total remaining time yields ``float('inf')`` — the
+    job is (estimated) instantaneous, the best possible return.
+    """
+    if not chain:
+        raise ValueError("chain must contain at least the job itself")
+    estimates = completion_estimates(chain, now)
+    total_utility = 0.0
+    for job, completion in zip(chain, estimates):
+        total_utility += job.task.tuf.utility(completion - job.release_time)
+    final = estimates[-1]
+    if final <= now:
+        return float("inf")
+    return total_utility / (final - now)

@@ -1,0 +1,37 @@
+"""Experiment harness regenerating the paper's evaluation.
+
+One function per figure (:mod:`repro.experiments.figures`), built on:
+
+* :mod:`repro.experiments.workloads` — the paper's task sets (10 tasks /
+  10 shared queues, step or heterogeneous TUF classes, controlled AL);
+* :mod:`repro.experiments.runner` — seeded repetition;
+* :mod:`repro.experiments.stats` — means and 95 % confidence intervals
+  (the paper reports 95 % CIs on every data point);
+* :mod:`repro.experiments.cml` — the Critical-time-Miss Load search of
+  Section 6.1;
+* :mod:`repro.experiments.report` — ASCII rendering of each figure's
+  series, the shape-comparison artifact recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.stats import Estimate, estimate, Series
+from repro.experiments.workloads import (
+    paper_taskset,
+    readers_taskset,
+    scaled_paper_taskset,
+)
+from repro.experiments.runner import run_many, run_once
+from repro.experiments.cml import measure_cml
+from repro.experiments.report import format_series_table
+
+__all__ = [
+    "Estimate",
+    "estimate",
+    "Series",
+    "paper_taskset",
+    "scaled_paper_taskset",
+    "readers_taskset",
+    "run_once",
+    "run_many",
+    "measure_cml",
+    "format_series_table",
+]

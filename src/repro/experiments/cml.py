@@ -1,0 +1,67 @@
+"""Critical-time-Miss Load measurement (Section 6.1).
+
+The CML of a scheduler is "the approximate load *after which* the
+scheduler begins to miss task critical times".  We measure it by
+bisecting the approximate load: a load is *clean* when, across the seeded
+trials, the critical-time-meet ratio stays at (or above) a tolerance-
+adjusted 100 %.  The CML is the highest clean load found.
+
+Object access time is excluded from AL by definition (the taskset
+builders already define AL over pure compute time), so the gap between a
+scheduler's CML and the ideal 1.0 exposes exactly the scheduler +
+synchronization overhead the figure is about.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from typing import Callable
+
+from repro.experiments.runner import run_once
+from repro.tasks.task import TaskSpec
+
+LoadedTasksetBuilder = Callable[[random.Random, float], list[TaskSpec]]
+
+
+def _clean_at(build_tasks: LoadedTasksetBuilder, sync: str, horizon: int,
+              load: float, seeds: list[int], tolerance: float,
+              arrival_style: str) -> bool:
+    ratios = []
+    for seed in seeds:
+        rng = random.Random(seed)
+        tasks = build_tasks(rng, load)
+        result = run_once(tasks, sync, horizon, rng,
+                          arrival_style=arrival_style)
+        if not result.records:
+            return False
+        ratios.append(result.cmr)
+    return statistics.fmean(ratios) >= 1.0 - tolerance
+
+
+def measure_cml(build_tasks: LoadedTasksetBuilder, sync: str, horizon: int,
+                seeds: list[int],
+                low: float = 0.02, high: float = 1.2,
+                iterations: int = 8, tolerance: float = 0.002,
+                arrival_style: str = "uniform") -> float:
+    """Bisect for the highest clean load in ``[low, high]``.
+
+    Returns ``low`` if even the lowest probed load misses (a scheduler
+    whose overhead swamps the workload), or ``high`` if nothing misses in
+    range.
+    """
+    if not _clean_at(build_tasks, sync, horizon, low, seeds, tolerance,
+                     arrival_style):
+        return low
+    if _clean_at(build_tasks, sync, horizon, high, seeds, tolerance,
+                 arrival_style):
+        return high
+    lo, hi = low, high
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        if _clean_at(build_tasks, sync, horizon, mid, seeds, tolerance,
+                     arrival_style):
+            lo = mid
+        else:
+            hi = mid
+    return lo

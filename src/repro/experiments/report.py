@@ -1,0 +1,50 @@
+"""ASCII rendering of figure series.
+
+Every figure function prints its series through these helpers; the same
+text is captured into EXPERIMENTS.md as the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.stats import Series
+
+
+def format_series_table(title: str, x_label: str,
+                        series: list[Series],
+                        x_format: str = "{:g}") -> str:
+    """Render aligned columns: x, then one ``mean ± ci`` column per
+    series."""
+    header = [x_label] + [s.label for s in series]
+    rows: list[list[str]] = []
+    xs = series[0].xs if series else []
+    for s in series:
+        if s.xs != xs:
+            raise ValueError(
+                f"series {s.label!r} has mismatched x values"
+            )
+    for index, x in enumerate(xs):
+        row = [x_format.format(x)]
+        for s in series:
+            est = s.estimates[index]
+            row.append(f"{est.mean:8.4f} ±{est.ci:7.4f}")
+        rows.append(row)
+    widths = [
+        max(len(header[col]), *(len(r[col]) for r in rows)) if rows
+        else len(header[col])
+        for col in range(len(header))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_scalar_rows(title: str, rows: list[tuple[str, str]]) -> str:
+    """Simple two-column key/value block."""
+    width = max((len(k) for k, _ in rows), default=0)
+    lines = [title, "=" * len(title)]
+    for key, value in rows:
+        lines.append(f"{key.ljust(width)}  {value}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Real lock-free data structures over a cooperative-interleaving VM.
+
+The paper's implementation uses hardware CAS (QNX on a Pentium-III) and
+the Michael & Scott lock-free queue [21].  Python's GIL makes native-
+thread lock-free timing meaningless, so this package executes the *actual
+published algorithms* — Michael–Scott queue, Treiber stack — over a
+deterministic virtual machine in which every shared-memory operation
+(load, store, CAS) is an explicit preemption point.  The VM can interleave
+fibers round-robin, randomly (seeded), or adversarially, and the
+structures count their CAS retries, which lets tests relate observed
+retries to interference exactly as the paper's analysis does.
+
+Linearizability of concurrent histories is checked with a Wing–Gong style
+exhaustive checker against sequential reference specifications.
+"""
+
+from repro.lockfree.interleave import (
+    Fiber,
+    VM,
+    adversarial_scheduler,
+    random_scheduler,
+    round_robin_scheduler,
+)
+from repro.lockfree.atomics import AtomicRef
+from repro.lockfree.ms_queue import EMPTY, MSQueue
+from repro.lockfree.linked_list import LockFreeLinkedList
+from repro.lockfree.nbw import NBWRegister
+from repro.lockfree.waitfree_register import WaitFreeRegister
+from repro.lockfree.treiber_stack import STACK_EMPTY, TreiberStack
+from repro.lockfree.linearizability import (
+    Operation,
+    SeqQueue,
+    SeqStack,
+    is_linearizable,
+    recorded,
+)
+
+__all__ = [
+    "VM",
+    "Fiber",
+    "round_robin_scheduler",
+    "random_scheduler",
+    "adversarial_scheduler",
+    "AtomicRef",
+    "MSQueue",
+    "EMPTY",
+    "LockFreeLinkedList",
+    "NBWRegister",
+    "WaitFreeRegister",
+    "TreiberStack",
+    "STACK_EMPTY",
+    "Operation",
+    "SeqQueue",
+    "SeqStack",
+    "is_linearizable",
+    "recorded",
+]

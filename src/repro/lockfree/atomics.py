@@ -1,0 +1,65 @@
+"""Atomic cells for the interleaving VM.
+
+Each operation is a generator that yields exactly once (the preemption
+point) and then performs its effect atomically.  CAS uses identity
+comparison — pointer semantics, as on real hardware — which also means
+the classic ABA hazard is faithfully reproducible (and avoided by the
+shipped algorithms the same way the originals avoid it: fresh node
+allocation per operation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+AtomicOp = Generator[Any, None, Any]
+
+
+class AtomicRef:
+    """A shared cell supporting load / store / compare-and-swap.
+
+    Per-cell operation counters (``loads``, ``stores``, ``cas_attempts``,
+    ``cas_failures``) feed the retry statistics the tests compare against
+    the paper's bounds.
+    """
+
+    __slots__ = ("_value", "name", "loads", "stores", "cas_attempts",
+                 "cas_failures")
+
+    def __init__(self, value: Any = None, name: str = "") -> None:
+        self._value = value
+        self.name = name
+        self.loads = 0
+        self.stores = 0
+        self.cas_attempts = 0
+        self.cas_failures = 0
+
+    def load(self) -> AtomicOp:
+        yield ("load", self.name)
+        self.loads += 1
+        return self._value
+
+    def store(self, value: Any) -> AtomicOp:
+        yield ("store", self.name)
+        self.stores += 1
+        self._value = value
+        return None
+
+    def cas(self, expected: Any, new: Any) -> AtomicOp:
+        """Compare-and-swap with identity comparison; returns success."""
+        yield ("cas", self.name)
+        self.cas_attempts += 1
+        if self._value is expected:
+            self._value = new
+            return True
+        self.cas_failures += 1
+        return False
+
+    def peek(self) -> Any:
+        """Non-yielding read for assertions outside the VM (tests only —
+        never inside a fiber)."""
+        return self._value
+
+    def __repr__(self) -> str:
+        label = self.name or "anon"
+        return f"AtomicRef({label}={self._value!r})"

@@ -1,0 +1,139 @@
+"""Cooperative-interleaving virtual machine.
+
+Fibers are Python generators.  Every shared-memory primitive
+(:class:`repro.lockfree.atomics.AtomicRef` operations) yields exactly once
+before taking effect; the yield is the only point at which the VM may
+switch fibers, and the effect executes atomically on resume.  This gives
+genuine sequential-consistency semantics with a controllable adversary —
+precisely what is needed to exercise lock-free algorithms without native
+threads.
+
+Schedulers are callables ``(runnable_fibers, rng, step) -> fiber``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Generator, Iterable
+
+FiberGen = Generator[Any, None, Any]
+Scheduler = Callable[[list["Fiber"], random.Random, int], "Fiber"]
+
+
+class Fiber:
+    """One cooperative thread of execution."""
+
+    def __init__(self, name: str, gen: FiberGen) -> None:
+        self.name = name
+        self.gen = gen
+        self.done = False
+        self.result: Any = None
+        self.steps = 0
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else f"steps={self.steps}"
+        return f"Fiber({self.name}, {state})"
+
+
+def round_robin_scheduler(runnable: list[Fiber], rng: random.Random,
+                          step: int) -> Fiber:
+    """Cycle through fibers one step each."""
+    return runnable[step % len(runnable)]
+
+
+def random_scheduler(runnable: list[Fiber], rng: random.Random,
+                     step: int) -> Fiber:
+    """Uniformly random fiber each step — the usual linearizability
+    fuzzer."""
+    return rng.choice(runnable)
+
+
+def adversarial_scheduler(burst: int = 3) -> Scheduler:
+    """Run one fiber for ``burst`` steps, then switch to another random
+    fiber: maximizes mid-operation preemptions, the retry-inducing pattern
+    of the paper's model."""
+
+    state = {"current": None, "left": 0}
+
+    def schedule(runnable: list[Fiber], rng: random.Random,
+                 step: int) -> Fiber:
+        current = state["current"]
+        if current is not None and not current.done and current in runnable \
+                and state["left"] > 0:
+            state["left"] -= 1
+            return current
+        choices = [f for f in runnable if f is not current] or runnable
+        chosen = rng.choice(choices)
+        state["current"] = chosen
+        state["left"] = burst - 1
+        return chosen
+
+    return schedule
+
+
+class VM:
+    """Steps fibers until all complete (or a step budget runs out)."""
+
+    def __init__(self, scheduler: Scheduler | None = None,
+                 seed: int = 0) -> None:
+        self.scheduler = scheduler or round_robin_scheduler
+        self.rng = random.Random(seed)
+        self.fibers: list[Fiber] = []
+        #: Global step counter — used as the logical timestamp for
+        #: linearizability histories.
+        self.now = 0
+
+    def spawn(self, name: str, gen: FiberGen) -> Fiber:
+        fiber = Fiber(name, gen)
+        self.fibers.append(fiber)
+        return fiber
+
+    @property
+    def runnable(self) -> list[Fiber]:
+        return [f for f in self.fibers if not f.done]
+
+    def step(self) -> bool:
+        """Advance one fiber by one atomic step.  Returns False when
+        nothing is runnable."""
+        runnable = self.runnable
+        if not runnable:
+            return False
+        fiber = self.scheduler(runnable, self.rng, self.now)
+        self.now += 1
+        fiber.steps += 1
+        try:
+            next(fiber.gen)
+        except StopIteration as stop:
+            fiber.done = True
+            fiber.result = stop.value
+        return True
+
+    def run(self, max_steps: int = 1_000_000) -> None:
+        """Step until every fiber completes.
+
+        Raises ``RuntimeError`` if the budget is exhausted — for a
+        lock-free algorithm under any fair scheduler that indicates a
+        livelock bug, which is exactly what the budget is here to catch.
+        """
+        for _ in range(max_steps):
+            if not self.step():
+                return
+        raise RuntimeError(
+            f"VM exceeded {max_steps} steps with fibers still runnable: "
+            f"{[f.name for f in self.runnable]}"
+        )
+
+    def results(self) -> dict[str, Any]:
+        return {f.name: f.result for f in self.fibers}
+
+
+def run_interleaved(bodies: Iterable[tuple[str, FiberGen]],
+                    scheduler: Scheduler | None = None,
+                    seed: int = 0,
+                    max_steps: int = 1_000_000) -> VM:
+    """Convenience: spawn all bodies, run to completion, return the VM."""
+    vm = VM(scheduler=scheduler, seed=seed)
+    for name, gen in bodies:
+        vm.spawn(name, gen)
+    vm.run(max_steps=max_steps)
+    return vm

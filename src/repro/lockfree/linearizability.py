@@ -1,0 +1,135 @@
+"""Wing–Gong linearizability checking.
+
+A concurrent history (one :class:`Operation` per completed call, with
+logical invocation/response timestamps from the VM) is *linearizable* if
+some total order of the operations (a) respects real-time precedence —
+an operation that responded before another was invoked must come first —
+and (b) is legal for the sequential specification.
+
+The checker is the classic exhaustive search with memoization on the set
+of already-linearized operations; fine for the test-sized histories
+(tens of operations) it is used on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.lockfree.ms_queue import EMPTY
+from repro.lockfree.treiber_stack import STACK_EMPTY
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A completed call in a concurrent history."""
+
+    op: str                    # e.g. "enqueue", "dequeue"
+    arg: Any
+    result: Any
+    invoked: int               # VM step at invocation
+    responded: int             # VM step at response
+
+    def __post_init__(self) -> None:
+        if self.responded < self.invoked:
+            raise ValueError("response precedes invocation")
+
+
+def recorded(vm, history: list[Operation], op: str, arg: Any,
+             gen) -> Generator[Any, None, Any]:
+    """Wrap an operation generator so its invocation/response timestamps
+    and result are appended to ``history``."""
+    invoked = vm.now
+    result = yield from gen
+    history.append(Operation(op=op, arg=arg, result=result,
+                             invoked=invoked, responded=vm.now))
+    return result
+
+
+class SeqQueue:
+    """Sequential FIFO specification."""
+
+    def __init__(self) -> None:
+        self._items: list[Any] = []
+
+    def apply(self, op: str, arg: Any) -> Any:
+        if op == "enqueue":
+            self._items.append(arg)
+            return None
+        if op == "dequeue":
+            if not self._items:
+                return EMPTY
+            return self._items.pop(0)
+        raise ValueError(f"unknown queue op {op!r}")
+
+    def snapshot(self) -> tuple:
+        return tuple(self._items)
+
+    def restore(self, snap: tuple) -> None:
+        self._items = list(snap)
+
+
+class SeqStack:
+    """Sequential LIFO specification."""
+
+    def __init__(self) -> None:
+        self._items: list[Any] = []
+
+    def apply(self, op: str, arg: Any) -> Any:
+        if op == "push":
+            self._items.append(arg)
+            return None
+        if op == "pop":
+            if not self._items:
+                return STACK_EMPTY
+            return self._items.pop()
+        raise ValueError(f"unknown stack op {op!r}")
+
+    def snapshot(self) -> tuple:
+        return tuple(self._items)
+
+    def restore(self, snap: tuple) -> None:
+        self._items = list(snap)
+
+
+def _results_equal(a: Any, b: Any) -> bool:
+    # Sentinels compare by identity; values by equality.
+    if a is b:
+        return True
+    if a in (EMPTY, STACK_EMPTY) or b in (EMPTY, STACK_EMPTY):
+        return False
+    return a == b
+
+
+def is_linearizable(history: list[Operation], spec_factory) -> bool:
+    """Exhaustively search for a legal linearization of ``history``
+    against a fresh sequential spec from ``spec_factory``."""
+    operations = list(history)
+    n = len(operations)
+    if n == 0:
+        return True
+    failed_states: set[tuple[frozenset[int], tuple]] = set()
+
+    def search(remaining: frozenset[int], spec) -> bool:
+        if not remaining:
+            return True
+        key = (remaining, spec.snapshot())
+        if key in failed_states:
+            return False
+        # An op may linearize next only if no *other remaining* op
+        # responded before it was invoked.
+        min_response = min(operations[i].responded for i in remaining)
+        for i in sorted(remaining):
+            op = operations[i]
+            if op.invoked > min_response:
+                continue
+            snap = spec.snapshot()
+            actual = spec.apply(op.op, op.arg)
+            if _results_equal(actual, op.result):
+                if search(remaining - {i}, spec):
+                    return True
+            spec.restore(snap)
+        failed_states.add(key)
+        return False
+
+    return search(frozenset(range(n)), spec_factory())

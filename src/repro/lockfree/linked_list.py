@@ -1,0 +1,162 @@
+"""Lock-free sorted linked list (set) — Valois [26] / Harris style.
+
+The paper's related work cites Valois' CAS-based lock-free linked lists.
+This implementation follows the now-standard Harris refinement of that
+line: deletion is *logical first* (the victim's ``next`` pointer is
+replaced by a mark wrapper via CAS, which simultaneously freezes it) and
+*physical second* (any traversal unlinks marked nodes it passes — the
+helping that gives lock-freedom).
+
+All shared accesses go through :class:`repro.lockfree.atomics.AtomicRef`
+so the interleaving VM can preempt between any two steps; CAS uses
+identity, so each mark wrapper is a fresh object and ABA cannot
+resurrect a deleted node.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.lockfree.atomics import AtomicOp, AtomicRef
+
+
+class _Marked:
+    """Mark wrapper: ``node.next`` holding ``_Marked(succ)`` means the
+    node is logically deleted and must not be updated further."""
+
+    __slots__ = ("successor",)
+
+    def __init__(self, successor: "_Node | None") -> None:
+        self.successor = successor
+
+
+class _Node:
+    __slots__ = ("key", "next")
+
+    def __init__(self, key: Any, successor: "_Node | None") -> None:
+        self.key = key
+        self.next = AtomicRef(successor, name=f"list.next[{key!r}]")
+
+
+class _Head:
+    """Sentinel smaller than every key."""
+
+
+class _Tail:
+    """Sentinel larger than every key."""
+
+
+def _less(a: Any, b: Any) -> bool:
+    if isinstance(a, _Head) or isinstance(b, _Tail):
+        return True
+    if isinstance(a, _Tail) or isinstance(b, _Head):
+        return False
+    return a < b
+
+
+class LockFreeLinkedList:
+    """Sorted lock-free set with insert / delete / contains."""
+
+    def __init__(self) -> None:
+        self._tail = _Node(_Tail(), None)
+        self._head = _Node(_Head(), self._tail)
+        self.insert_retries = 0
+        self.delete_retries = 0
+        #: Marked nodes physically unlinked by traversals (helping).
+        self.helped_unlinks = 0
+
+    # ------------------------------------------------------------------
+    # Internal search with helping
+    # ------------------------------------------------------------------
+
+    def _search(self, key: Any) -> Generator[Any, None, tuple[_Node, _Node]]:
+        """Find ``(pred, curr)`` with ``pred.key < key <= curr.key``,
+        unlinking marked nodes encountered on the way."""
+        while True:
+            pred = self._head
+            curr = yield from pred.next.load()
+            restart = False
+            while True:
+                nxt = yield from curr.next.load()
+                while isinstance(nxt, _Marked):
+                    # curr is logically deleted: help unlink it.
+                    unlinked = yield from pred.next.cas(curr, nxt.successor)
+                    if not unlinked:
+                        restart = True
+                        break
+                    self.helped_unlinks += 1
+                    curr = nxt.successor
+                    nxt = yield from curr.next.load()
+                if restart:
+                    break
+                if not _less(curr.key, key):
+                    return pred, curr
+                pred, curr = curr, nxt
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any) -> AtomicOp:
+        """Add ``key``; returns False if already present."""
+        while True:
+            pred, curr = yield from self._search(key)
+            if not isinstance(curr.key, _Tail) and curr.key == key:
+                return False
+            node = _Node(key, curr)  # private until linked; plain init
+            linked = yield from pred.next.cas(curr, node)
+            if linked:
+                return True
+            self.insert_retries += 1
+
+    def delete(self, key: Any) -> AtomicOp:
+        """Remove ``key``; returns False if absent."""
+        while True:
+            pred, curr = yield from self._search(key)
+            if isinstance(curr.key, _Tail) or curr.key != key:
+                return False
+            succ = yield from curr.next.load()
+            if isinstance(succ, _Marked):
+                # Someone else is deleting it concurrently: retry (the
+                # search will help unlink, then report absent).
+                self.delete_retries += 1
+                continue
+            marked = yield from curr.next.cas(succ, _Marked(succ))
+            if not marked:
+                self.delete_retries += 1
+                continue
+            # Best-effort physical unlink; failure is fine (helpers will).
+            yield from pred.next.cas(curr, succ)
+            return True
+
+    def contains(self, key: Any) -> AtomicOp:
+        """Wait-free-ish membership test (pure traversal, no helping)."""
+        curr = yield from self._head.next.load()
+        while _less(curr.key, key):
+            nxt = yield from curr.next.load()
+            curr = nxt.successor if isinstance(nxt, _Marked) else nxt
+        if isinstance(curr.key, _Tail) or curr.key != key:
+            return False
+        nxt = yield from curr.next.load()
+        return not isinstance(nxt, _Marked)
+
+    # ------------------------------------------------------------------
+    # Non-concurrent helpers (tests)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> list[Any]:
+        """Unmarked keys, in order (outside the VM only)."""
+        keys = []
+        node = self._head.next.peek()
+        while not isinstance(node.key, _Tail):
+            nxt = node.next.peek()
+            if isinstance(nxt, _Marked):
+                node = nxt.successor
+                continue
+            keys.append(node.key)
+            node = nxt
+        return keys
+
+    @property
+    def total_retries(self) -> int:
+        return self.insert_retries + self.delete_retries

@@ -1,0 +1,125 @@
+"""The Michael & Scott non-blocking FIFO queue [21].
+
+This is the queue the paper's implementation study uses ("We used the
+lock-free queues introduced in [21]").  The algorithm is transcribed from
+the original: a dummy-headed singly linked list with separate head and
+tail pointers, helped tail swings, and fresh node allocation per enqueue
+(which sidesteps ABA under garbage collection — Python's memory model
+here plays the role of the original's type-stable allocator).
+
+Every shared access goes through :class:`repro.lockfree.atomics.AtomicRef`
+so the interleaving VM can preempt between any two of them.  Operations
+are generators; drive them with the VM (or exhaust them directly for
+sequential use).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lockfree.atomics import AtomicOp, AtomicRef
+
+
+class _Sentinel:
+    def __init__(self, label: str) -> None:
+        self._label = label
+
+    def __repr__(self) -> str:
+        return self._label
+
+
+#: Returned by dequeue on an empty queue.
+EMPTY = _Sentinel("EMPTY")
+
+
+class _Node:
+    __slots__ = ("value", "next")
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+        self.next = AtomicRef(None, name="node.next")
+
+
+class MSQueue:
+    """Lock-free multi-writer/multi-reader FIFO queue."""
+
+    def __init__(self) -> None:
+        dummy = _Node(None)
+        self.head = AtomicRef(dummy, name="queue.head")
+        self.tail = AtomicRef(dummy, name="queue.tail")
+        #: Failed-attempt counters, aggregated across operations.
+        self.enqueue_retries = 0
+        self.dequeue_retries = 0
+
+    def enqueue(self, value: Any) -> AtomicOp:
+        """M&S enqueue: link at tail, then swing tail."""
+        node = _Node(value)
+        while True:
+            tail = yield from self.tail.load()
+            nxt = yield from tail.next.load()
+            tail_check = yield from self.tail.load()
+            if tail is not tail_check:
+                self.enqueue_retries += 1
+                continue
+            if nxt is None:
+                linked = yield from tail.next.cas(None, node)
+                if linked:
+                    # Swing the tail; failure means someone helped us.
+                    yield from self.tail.cas(tail, node)
+                    return None
+                self.enqueue_retries += 1
+            else:
+                # Tail is lagging: help swing it, then retry.
+                yield from self.tail.cas(tail, nxt)
+                self.enqueue_retries += 1
+
+    def dequeue(self) -> AtomicOp:
+        """M&S dequeue: read value at head.next, swing head.  Returns
+        :data:`EMPTY` when the queue has no elements."""
+        while True:
+            head = yield from self.head.load()
+            tail = yield from self.tail.load()
+            nxt = yield from head.next.load()
+            head_check = yield from self.head.load()
+            if head is not head_check:
+                self.dequeue_retries += 1
+                continue
+            if head is tail:
+                if nxt is None:
+                    return EMPTY
+                # Tail lagging behind a concurrent enqueue: help.
+                yield from self.tail.cas(tail, nxt)
+                self.dequeue_retries += 1
+            else:
+                value = nxt.value
+                swung = yield from self.head.cas(head, nxt)
+                if swung:
+                    return value
+                self.dequeue_retries += 1
+
+    # ------------------------------------------------------------------
+    # Non-concurrent helpers (tests / sequential use)
+    # ------------------------------------------------------------------
+
+    def drain_sequential(self) -> list[Any]:
+        """Dequeue everything with no interleaving (test helper)."""
+        out = []
+        while True:
+            value = run_op(self.dequeue())
+            if value is EMPTY:
+                return out
+            out.append(value)
+
+    @property
+    def total_retries(self) -> int:
+        return self.enqueue_retries + self.dequeue_retries
+
+
+def run_op(op: AtomicOp) -> Any:
+    """Exhaust an operation generator with no preemption (sequential
+    semantics)."""
+    try:
+        while True:
+            next(op)
+    except StopIteration as stop:
+        return stop.value

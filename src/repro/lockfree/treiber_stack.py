@@ -1,0 +1,69 @@
+"""Treiber's lock-free stack [25].
+
+The second classic structure the paper's related work highlights
+("Efficient lock-free objects, such as queues and stacks").  Push and pop
+are single-CAS loops on the top pointer; fresh node allocation per push
+avoids ABA under garbage collection.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lockfree.atomics import AtomicOp, AtomicRef
+from repro.lockfree.ms_queue import _Sentinel, run_op
+
+#: Returned by pop on an empty stack.
+STACK_EMPTY = _Sentinel("STACK_EMPTY")
+
+
+class _Node:
+    __slots__ = ("value", "below")
+
+    def __init__(self, value: Any, below: "_Node | None") -> None:
+        self.value = value
+        self.below = below
+
+
+class TreiberStack:
+    """Lock-free LIFO stack."""
+
+    def __init__(self) -> None:
+        self.top = AtomicRef(None, name="stack.top")
+        self.push_retries = 0
+        self.pop_retries = 0
+
+    def push(self, value: Any) -> AtomicOp:
+        while True:
+            top = yield from self.top.load()
+            node = _Node(value, top)
+            done = yield from self.top.cas(top, node)
+            if done:
+                return None
+            self.push_retries += 1
+
+    def pop(self) -> AtomicOp:
+        while True:
+            top = yield from self.top.load()
+            if top is None:
+                return STACK_EMPTY
+            done = yield from self.top.cas(top, top.below)
+            if done:
+                return top.value
+            self.pop_retries += 1
+
+    # ------------------------------------------------------------------
+    # Non-concurrent helpers
+    # ------------------------------------------------------------------
+
+    def drain_sequential(self) -> list[Any]:
+        out = []
+        while True:
+            value = run_op(self.pop())
+            if value is STACK_EMPTY:
+                return out
+            out.append(value)
+
+    @property
+    def total_retries(self) -> int:
+        return self.push_retries + self.pop_retries

@@ -1,0 +1,98 @@
+"""Multi-buffer wait-free single-writer / multi-reader register.
+
+The Chen & Burns line of work the paper cites [6, 14, 7] turns NBW's
+lock-free readers into *wait-free* readers by spending space and using
+**process consensus**: each reader owns an announcement slot that is
+written by compare-and-swap from *both* sides — the reader claims the
+buffer it intends to read, and the writer *helps* any reader that has
+not yet claimed one by assigning it the freshly published buffer.
+Whoever's CAS wins, the slot ends up naming a protected buffer, and the
+writer never reuses a buffer named in any slot, so with
+``n_readers + 2`` buffers every operation finishes in a constant number
+of steps.
+
+This is exactly the tradeoff the paper highlights in Section 1.1: the
+wait-free scheme needs a-priori knowledge of the maximum number of
+readers (hard for the paper's dynamic systems, which is why the paper
+pursues lock-free instead) and pays buffers + helping for the bounded
+steps.
+
+Protocol (slots hold a buffer index or the sentinel ``FREE = -1``):
+
+* Reader ``i``: ``slot[i] := FREE``; ``r := latest``;
+  ``CAS(slot[i], FREE, r)`` — on failure the writer already helped, so
+  ``r := slot[i]``; copy ``buffers[r]``; ``slot[i] := FREE``.
+* Writer: scan ``latest`` and all slots; pick a buffer outside that set
+  (one always exists); write the value; ``latest := target``; then for
+  each reader ``CAS(slot[i], FREE, target)`` (the help).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lockfree.atomics import AtomicOp, AtomicRef
+
+FREE = -1
+
+
+class WaitFreeRegister:
+    """Wait-free SWMR register with ``n_readers + 2`` buffers."""
+
+    def __init__(self, n_readers: int, initial: Any = None) -> None:
+        if n_readers < 1:
+            raise ValueError("need at least one reader")
+        self.n_readers = n_readers
+        self.n_buffers = n_readers + 2
+        self._buffers = [
+            AtomicRef(initial, name=f"wf.buf{i}")
+            for i in range(self.n_buffers)
+        ]
+        self._latest = AtomicRef(0, name="wf.latest")
+        self._slots = [
+            AtomicRef(FREE, name=f"wf.slot{i}") for i in range(n_readers)
+        ]
+        self.writes = 0
+        #: Reads that were helped by the writer (their own claim lost the
+        #: consensus) — visible evidence of the helping mechanism.
+        self.helped_reads = 0
+
+    def write(self, value: Any) -> AtomicOp:
+        """Constant-step write: scan, fill a free buffer, publish, help."""
+        forbidden = set()
+        latest = yield from self._latest.load()
+        forbidden.add(latest)
+        for slot in self._slots:
+            claimed = yield from slot.load()
+            if claimed != FREE:
+                forbidden.add(claimed)
+        # n_readers + 2 buffers, at most n_readers + 1 forbidden: a free
+        # buffer always exists — the space-for-progress trade.
+        target = next(
+            i for i in range(self.n_buffers) if i not in forbidden
+        )
+        yield from self._buffers[target].store(value)
+        yield from self._latest.store(target)
+        # Help: give the fresh buffer to every reader still undecided.
+        for slot in self._slots:
+            yield from slot.cas(FREE, target)
+        self.writes += 1
+        return None
+
+    def read(self, reader_id: int) -> AtomicOp:
+        """Constant-step read: claim via consensus, copy, release."""
+        if not 0 <= reader_id < self.n_readers:
+            raise ValueError("bad reader id")
+        slot = self._slots[reader_id]
+        yield from slot.store(FREE)
+        intended = yield from self._latest.load()
+        claimed_ok = yield from slot.cas(FREE, intended)
+        if claimed_ok:
+            target = intended
+        else:
+            # The writer helped first; its assignment wins the consensus.
+            target = yield from slot.load()
+            self.helped_reads += 1
+        value = yield from self._buffers[target].load()
+        yield from slot.store(FREE)
+        return value

@@ -1,0 +1,503 @@
+"""The simulated RTOS kernel.
+
+Drives the discrete-event simulation: admits UAM job arrivals, invokes the
+scheduler policy on every scheduling event (charging its cost model on the
+simulated CPU), dispatches and preempts jobs, mediates lock-based and
+lock-free object sharing, and enforces the paper's abortion model
+(Section 3.5) through per-job critical-time timers.
+
+Scheduling events, per the paper (Section 3): job arrivals, job
+departures, lock and unlock requests, and critical-time expirations.
+Under lock-free sharing the lock events do not exist — which is exactly
+the cost advantage the paper quantifies.
+
+Execution model
+---------------
+The kernel owns a single simulated CPU.  At every scheduling event it runs
+the policy's ``schedule`` pass (cost charged = ``policy.cost_model(n)``),
+walks the returned eligibility order to the first dispatchable job
+(attempting lock acquisitions along the way; a failed acquisition blocks
+that job and charges another activation), and dispatches it after the
+charged overhead plus a context switch when the job changes.  The
+dispatched job's next segment boundary is predicted exactly and queued as
+a Milestone; any intervening event re-enters the scheduler and supersedes
+the milestone through the job's dispatch token.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.sim.engine import EventQueue
+from repro.sim.events import (
+    CriticalTimeExpiry,
+    EventPriority,
+    JobArrival,
+    Milestone,
+)
+from repro.sim.locks import LockManager
+from repro.sim.metrics import SimulationResult, record_of
+from repro.sim.objects import LockFreeObjectTable, RetryPolicy
+from repro.sim.overheads import KernelCosts
+from repro.sim.tracing import TraceKind, Tracer
+from repro.tasks.job import Job, JobState
+from repro.tasks.segments import ObjectAccess, ReleaseLock
+from repro.tasks.task import TaskSpec
+
+if TYPE_CHECKING:  # avoid an import cycle with repro.core
+    from repro.core.interface import SchedulerPolicy
+
+
+class SyncMode(enum.Enum):
+    """How shared-object access segments are mediated."""
+
+    #: Ideal objects: zero mechanism cost, no blocking, no retries
+    #: (Section 6.1's "ideal RUA" baseline).
+    NONE = "none"
+    LOCK_BASED = "lock_based"
+    LOCK_FREE = "lock_free"
+
+
+@dataclass
+class SimulationConfig:
+    """Everything a run needs.  ``arrival_traces[i]`` lists the absolute
+    release times of ``tasks[i]``'s jobs (UAM-conformant traces come from
+    :mod:`repro.arrivals.generators`)."""
+
+    tasks: Sequence[TaskSpec]
+    arrival_traces: Sequence[Sequence[int]]
+    policy: "SchedulerPolicy"
+    horizon: int
+    sync: SyncMode = SyncMode.LOCK_FREE
+    costs: KernelCosts = field(default_factory=KernelCosts)
+    retry_policy: RetryPolicy = RetryPolicy.ON_CONFLICT
+    allow_nesting: bool = False
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.tasks) != len(self.arrival_traces):
+            raise ValueError("one arrival trace per task is required")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+
+class Kernel:
+    """One simulation run.  Create, :meth:`run`, inspect the result."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.tracer = Tracer(enabled=config.trace)
+        self._queue = EventQueue()
+        self._clock = 0
+        self._live: list[Job] = []
+        self._running: Job | None = None
+        self._running_since = 0
+        self._kernel_free_at = 0
+        self._locks = LockManager(allow_nesting=config.allow_nesting)
+        self._objects = LockFreeObjectTable(policy=config.retry_policy)
+        self._result = SimulationResult(horizon=config.horizon)
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation to the horizon and return the result."""
+        if self._finished:
+            raise RuntimeError("a Kernel instance runs exactly once")
+        self._finished = True
+        self._prime_arrivals()
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > self.config.horizon:
+                break
+            time, event = self._queue.pop()
+            self._advance_running_to(time)
+            self._clock = time
+            self._handle(event)
+        self._result.unfinished = sum(1 for j in self._live if j.is_live)
+        return self._result
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _prime_arrivals(self) -> None:
+        for task_index, trace in enumerate(self.config.arrival_traces):
+            previous = None
+            for jid, release in enumerate(trace):
+                if previous is not None and release < previous:
+                    raise ValueError(
+                        f"arrival trace of task {task_index} is not sorted"
+                    )
+                previous = release
+                if release >= self.config.horizon:
+                    break
+                self._queue.push(release, EventPriority.ARRIVAL,
+                                 JobArrival(task_index=task_index, jid=jid))
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+
+    def _handle(self, event) -> None:
+        if isinstance(event, JobArrival):
+            self._handle_arrival(event)
+        elif isinstance(event, CriticalTimeExpiry):
+            self._handle_expiry(event)
+        elif isinstance(event, Milestone):
+            self._handle_milestone(event)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown event {event!r}")
+
+    def _handle_arrival(self, event: JobArrival) -> None:
+        task = self.config.tasks[event.task_index]
+        job = Job(task=task, jid=event.jid, release_time=self._clock)
+        self._live.append(job)
+        self._queue.push(job.critical_time_abs, EventPriority.TIMER,
+                         CriticalTimeExpiry(job=job))
+        self.tracer.emit(self._clock, TraceKind.ARRIVAL, job.name)
+        self._reschedule()
+
+    def _handle_expiry(self, event: CriticalTimeExpiry) -> None:
+        job = event.job
+        if not job.is_live:
+            return  # job already departed; stale timer
+        self._abort(job)
+        extra = self.config.costs.timer_overhead + job.task.abort_handler_time
+        self._reschedule(extra_overhead=extra)
+
+    def _handle_milestone(self, event: Milestone) -> None:
+        job = event.job
+        if job is not self._running or event.token != job.dispatch_token:
+            return  # superseded by a preemption/retry/abort
+        if job.segment_remaining() != 0:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"milestone for {job.name} fired with work remaining"
+            )
+        self._finish_current_segment(job)
+
+    # ------------------------------------------------------------------
+    # Segment lifecycle
+    # ------------------------------------------------------------------
+
+    def _finish_current_segment(self, job: Job) -> None:
+        """The running job completed its current segment at the clock."""
+        segment = job.current_segment
+        sync = self.config.sync
+        if isinstance(segment, ReleaseLock):
+            self._release_segment(job)
+            return
+        if isinstance(segment, ObjectAccess) and sync is SyncMode.LOCK_BASED:
+            self._result.lock_access_commits += 1
+            if not segment.release_at_end:
+                # Nested critical section: keep the lock across later
+                # segments; no unlock request, no scheduling event.
+                job.finish_segment()
+                self._continue_running(job)
+                return
+            # End of critical section: unlock request — a scheduling event.
+            self._release_lock(job, segment.obj)
+            job.finish_segment()
+            cost = self.config.costs.lock_overhead
+            self._result.lock_mechanism_time += cost
+            self._reschedule(extra_overhead=cost, lock_event=True)
+            return
+        if isinstance(segment, ObjectAccess) and sync is SyncMode.LOCK_FREE:
+            self._objects.commit(job)
+            self._result.lockfree_access_commits += 1
+            self._result.lockfree_attempts += 1
+            job.finish_segment()
+            self.tracer.emit(self._clock, TraceKind.ACCESS_COMMIT, job.name,
+                             detail=str(segment.obj))
+            self._continue_running(job)
+            return
+        # Compute segment, or an access under SyncMode.NONE.
+        job.finish_segment()
+        self._continue_running(job)
+
+    def _release_lock(self, job: Job, obj) -> None:
+        """Release one lock, waking its waiters."""
+        woken = self._locks.release(job, obj)
+        job.held_locks.discard(obj)
+        if job.holds_lock == obj:
+            job.holds_lock = None
+        for waiter in woken:
+            waiter.state = JobState.READY
+            waiter.blocked_on = None
+            self.tracer.emit(self._clock, TraceKind.UNBLOCK, waiter.name)
+        self.tracer.emit(self._clock, TraceKind.LOCK_RELEASE, job.name,
+                         detail=str(obj))
+
+    def _release_segment(self, job: Job) -> None:
+        """Process a :class:`ReleaseLock` segment reached by the running
+        job.  An unlock request (scheduling event) under lock-based
+        sharing; a no-op otherwise."""
+        segment = job.current_segment
+        if self.config.sync is SyncMode.LOCK_BASED:
+            self._release_lock(job, segment.obj)
+            job.finish_segment()
+            cost = self.config.costs.lock_overhead
+            self._result.lock_mechanism_time += cost
+            self._reschedule(extra_overhead=cost, lock_event=True)
+            return
+        job.finish_segment()
+        self._continue_running(job)
+
+    def _continue_running(self, job: Job) -> None:
+        """Advance the running job into its next segment (or completion)
+        without an intervening scheduling event, unless the segment
+        boundary itself is one (completion, lock request, unlock)."""
+        if job.current_segment is None:
+            self._complete(job)
+            return
+        segment = job.current_segment
+        sync = self.config.sync
+        if isinstance(segment, ReleaseLock):
+            self._release_segment(job)
+            return
+        if isinstance(segment, ObjectAccess) and sync is SyncMode.LOCK_BASED:
+            # Lock request: a scheduling event.  The job stops here; the
+            # acquisition is attempted during the dispatch walk.
+            self.tracer.emit(self._clock, TraceKind.ACCESS_BEGIN, job.name,
+                             detail=str(segment.obj))
+            cost = self.config.costs.lock_overhead
+            self._result.lock_mechanism_time += cost
+            self._reschedule(extra_overhead=cost, lock_event=True)
+            return
+        # Compute segment, SyncMode.NONE access, or lock-free access: keep
+        # running without a scheduler pass.
+        delay = self._enter_segment(job, trace=True)
+        self._running_since = self._clock + delay
+        self._push_milestone(job)
+
+    def _enter_segment(self, job: Job, trace: bool) -> int:
+        """Prepare the job's current segment for execution; return extra
+        mechanism delay (CAS attempt cost) to charge before work starts.
+
+        Handles the lock-free begin/retry protocol.  Lock-based entry is
+        handled in the dispatch walk (acquisition) instead.
+        """
+        segment = job.current_segment
+        if not isinstance(segment, ObjectAccess):
+            return 0
+        sync = self.config.sync
+        if sync is not SyncMode.LOCK_FREE:
+            return 0
+        if self._objects.open_access_of(job) is None:
+            self._objects.begin(job, segment)
+            if trace:
+                self.tracer.emit(self._clock, TraceKind.ACCESS_BEGIN,
+                                 job.name, detail=str(segment.obj))
+            cost = self.config.costs.cas_overhead
+            self._result.lockfree_mechanism_time += cost
+            return cost
+        if self._objects.must_retry(job):
+            wasted = job.restart_access()
+            self._objects.record_retry(job)
+            self._result.lockfree_attempts += 1
+            self.tracer.emit(self._clock, TraceKind.RETRY, job.name,
+                             detail=f"obj={segment.obj} wasted={wasted}")
+            cost = self.config.costs.cas_overhead
+            self._result.lockfree_mechanism_time += cost + wasted
+            return cost
+        return 0
+
+    # ------------------------------------------------------------------
+    # Scheduling and dispatch
+    # ------------------------------------------------------------------
+
+    def _reschedule(self, extra_overhead: int = 0,
+                    lock_event: bool = False) -> None:
+        """Run a scheduler pass and dispatch its choice.
+
+        ``extra_overhead`` is kernel-busy time to charge in addition to
+        the policy's own invocation cost (timer service, abort handlers,
+        lock bookkeeping).  ``lock_event`` attributes the pass to the
+        lock-based sharing mechanism for Figure 8 accounting.
+        """
+        now = self._clock
+        cost = extra_overhead
+        passes = 0
+        chosen: Job | None = None
+        n = 0
+        while True:
+            live = [j for j in self._live if j.is_live]
+            self._live = live
+            n = len(live)
+            cost += self.config.policy.cost_model.cost(n)
+            self._result.scheduler_invocations += 1
+            passes += 1
+            order = self.config.policy.schedule(live, self._lock_view(), now)
+            # Deadlock resolution (Section 3.3): the policy may request
+            # aborts; each abort changes the dependency structure, so the
+            # pass reruns (with its cost charged) until no victim remains.
+            victims = self.config.policy.consume_abort_requests()
+            if victims:
+                for victim in victims:
+                    if victim.is_live:
+                        self._abort(victim)
+                        cost += (self.config.costs.timer_overhead
+                                 + victim.task.abort_handler_time)
+                continue
+            chosen, blocked_any, walk_cost = self._walk(order, n, now)
+            cost += walk_cost
+            # A blocking during the walk can have closed a dependency
+            # cycle (with nesting): if nothing is dispatchable, rerun the
+            # pass so detection sees the new blocked_on edges.  Bounded:
+            # each rerun either aborts a victim or blocks new jobs.
+            if (chosen is None and blocked_any
+                    and self.config.sync is SyncMode.LOCK_BASED
+                    and passes <= len(live) + 1):
+                continue
+            break
+        self.tracer.emit(now, TraceKind.SCHED_PASS, "",
+                         detail=f"n={n} cost={cost}")
+        self._result.scheduler_overhead_time += cost
+        if lock_event:
+            self._result.lock_mechanism_time += (
+                self.config.policy.cost_model.cost(n)
+            )
+        self._dispatch(chosen, cost)
+
+    def _walk(self, order: list[Job], n: int,
+              now: int) -> tuple[Job | None, bool, int]:
+        """Walk the policy's eligibility order to the first dispatchable
+        job, attempting lock acquisitions along the way.  Returns
+        (chosen, whether any job newly blocked, extra cost charged)."""
+        blocked_any = False
+        extra_cost = 0
+        for job in order:
+            if not job.is_live or job.state is JobState.BLOCKED:
+                continue
+            if self._needs_lock(job):
+                obj = job.current_segment.obj
+                if self._locks.try_acquire(job, obj):
+                    job.holds_lock = obj
+                    job.held_locks.add(obj)
+                    self.tracer.emit(now, TraceKind.LOCK_ACQUIRE, job.name,
+                                     detail=str(obj))
+                    return job, blocked_any, extra_cost
+                job.state = JobState.BLOCKED
+                job.blocked_on = obj
+                job.blockings += 1
+                blocked_any = True
+                self.tracer.emit(now, TraceKind.BLOCK, job.name,
+                                 detail=str(obj))
+                # The failed acquisition re-activates the scheduler.
+                activation = self.config.policy.cost_model.cost(n)
+                extra_cost += activation
+                self._result.lock_mechanism_time += activation
+                self._result.scheduler_invocations += 1
+                continue
+            return job, blocked_any, extra_cost
+        return None, blocked_any, extra_cost
+
+    def _needs_lock(self, job: Job) -> bool:
+        """True when the job sits at the entry of a lock-based access it
+        has not acquired yet."""
+        if self.config.sync is not SyncMode.LOCK_BASED:
+            return False
+        segment = job.current_segment
+        return (
+            isinstance(segment, ObjectAccess)
+            and segment.obj not in self._locks.held_by(job)
+        )
+
+    def _dispatch(self, chosen: Job | None, cost: int) -> None:
+        now = self._clock
+        previous = self._running
+        switching = chosen is not previous
+        if previous is not None and switching and previous.is_live:
+            previous.state = JobState.READY
+            previous.preemptions += 1
+            previous.dispatch_token += 1
+            if (self.config.sync is SyncMode.LOCK_FREE
+                    and previous.in_access):
+                self._objects.note_preemption(previous)
+            self.tracer.emit(now, TraceKind.PREEMPT, previous.name)
+        # Kernel work is serialized: overhead charged by an earlier pass
+        # at this instant (abort handlers, timer service) delays this one.
+        busy_from = max(now, self._kernel_free_at)
+        if chosen is None:
+            self._running = None
+            self._kernel_free_at = busy_from + cost
+            self.tracer.emit(now, TraceKind.IDLE, "")
+            return
+        start = busy_from + cost
+        if switching:
+            start += self.config.costs.context_switch
+        self._kernel_free_at = start
+        entry_delay = self._enter_segment(chosen, trace=switching)
+        chosen.state = JobState.RUNNING
+        chosen.dispatch_token += 1
+        self._running = chosen
+        self._running_since = start + entry_delay
+        self.tracer.emit(now, TraceKind.DISPATCH, chosen.name,
+                         detail=f"start={self._running_since}")
+        self._push_milestone(chosen)
+
+    def _push_milestone(self, job: Job) -> None:
+        when = self._running_since + job.segment_remaining()
+        self._queue.push(when, EventPriority.MILESTONE,
+                         Milestone(job=job, token=job.dispatch_token))
+
+    # ------------------------------------------------------------------
+    # Job termination
+    # ------------------------------------------------------------------
+
+    def _complete(self, job: Job) -> None:
+        job.state = JobState.COMPLETED
+        job.completion_time = self._clock
+        job.accrued_utility = job.task.tuf.utility(job.sojourn_time())
+        self._result.records.append(record_of(job))
+        self.tracer.emit(self._clock, TraceKind.COMPLETE, job.name,
+                         detail=f"utility={job.accrued_utility:.3f}")
+        if job is self._running:
+            self._running = None
+        # Departure is a scheduling event.
+        self._reschedule()
+
+    def _abort(self, job: Job) -> None:
+        """Critical-time expiry (Section 3.5): raise the abort exception,
+        run the handler, roll back held resources, depart with zero
+        utility."""
+        job.state = JobState.ABORTED
+        job.accrued_utility = 0.0
+        if self.config.sync is SyncMode.LOCK_BASED:
+            woken = self._locks.release_all(job)
+            job.holds_lock = None
+            job.held_locks.clear()
+            for waiter in woken:
+                waiter.state = JobState.READY
+                waiter.blocked_on = None
+                self.tracer.emit(self._clock, TraceKind.UNBLOCK, waiter.name)
+        elif self.config.sync is SyncMode.LOCK_FREE:
+            self._objects.abandon(job)
+        if job is self._running:
+            self._running = None
+        self._result.records.append(record_of(job))
+        self.tracer.emit(self._clock, TraceKind.ABORT, job.name)
+
+    # ------------------------------------------------------------------
+    # Execution accounting
+    # ------------------------------------------------------------------
+
+    def _advance_running_to(self, time: int) -> None:
+        job = self._running
+        if job is None:
+            return
+        if time <= self._running_since:
+            return
+        amount = min(time - self._running_since, job.segment_remaining())
+        if amount > 0:
+            job.advance(amount)
+        self._running_since = time
+
+    def _lock_view(self) -> LockManager | None:
+        if self.config.sync is SyncMode.LOCK_BASED:
+            return self._locks
+        return None

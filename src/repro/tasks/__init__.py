@@ -1,0 +1,33 @@
+"""Task and job model.
+
+A *task* is a recurrent activity: a UAM arrival envelope, a TUF time
+constraint shared by all of its jobs, and an execution body described as a
+sequence of *segments* — pure computation and shared-object accesses.  A
+*job* is one invocation of a task and is the basic scheduling entity
+(Section 2 of the paper).
+"""
+
+from repro.tasks.segments import Compute, ObjectAccess, Segment
+from repro.tasks.task import TaskSpec
+from repro.tasks.job import Job, JobState
+from repro.tasks.taskset import (
+    approximate_load,
+    make_task,
+    random_taskset,
+    scale_to_load,
+    total_access_time,
+)
+
+__all__ = [
+    "Segment",
+    "Compute",
+    "ObjectAccess",
+    "TaskSpec",
+    "Job",
+    "JobState",
+    "make_task",
+    "random_taskset",
+    "approximate_load",
+    "scale_to_load",
+    "total_access_time",
+]

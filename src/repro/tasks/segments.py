@@ -1,0 +1,136 @@
+"""Job body segments.
+
+A job's execution body is a sequence of segments:
+
+* :class:`Compute` — ``duration`` time ticks (ns) of pure computation
+  (contributes to ``u_i`` in the paper's notation);
+* :class:`ObjectAccess` — one operation on a shared object (contributes to
+  ``m_i``), whose ``duration`` is the *intrinsic* operation time; the
+  synchronization layer adds its own mechanism costs on top (lock/unlock
+  scheduler activations for lock-based sharing, retries for lock-free).
+
+Nested critical sections are excluded by the paper's resource model
+(Section 2), which the flat segment sequence encodes structurally: an
+access segment is a single non-nested critical section / lock-free
+operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class AccessKind(Enum):
+    """Read/write flavour of a shared-object operation.
+
+    The retry model only restarts a lock-free access when a *conflicting*
+    operation completed concurrently; two reads never conflict.
+    """
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Pure computation for ``duration`` time ticks (ns)."""
+
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class ObjectAccess:
+    """One operation of ``duration`` time ticks (ns) on shared object
+    ``obj``.  ``obj`` is an opaque object identifier (small int or str).
+
+    Under lock-based sharing the lock is normally released when the
+    segment ends; ``release_at_end=False`` keeps it held across later
+    segments until an explicit :class:`ReleaseLock` — the *nested
+    critical section* mode of the paper's Section 3.3 (excluded from the
+    Section 5 comparisons, but part of RUA's definition).  Under
+    lock-free or ideal sharing the flag is ignored (the paper's model
+    has no lock-free nesting).
+    """
+
+    obj: int | str
+    duration: int
+    kind: AccessKind = AccessKind.WRITE
+    release_at_end: bool = True
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("access duration must be positive")
+
+
+@dataclass(frozen=True)
+class ReleaseLock:
+    """Explicit unlock of a lock held across segments (instantaneous;
+    the unlock request's mechanism cost is charged by the kernel).
+    A no-op under lock-free/ideal sharing."""
+
+    obj: int | str
+    duration: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration != 0:
+            raise ValueError("ReleaseLock is instantaneous")
+
+
+Segment = Compute | ObjectAccess | ReleaseLock
+
+
+def compute_time(segments: tuple[Segment, ...]) -> int:
+    """Total pure-computation time ``u_i`` of a segment sequence."""
+    return sum(s.duration for s in segments if isinstance(s, Compute))
+
+
+def access_count(segments: tuple[Segment, ...]) -> int:
+    """Number of shared-object accesses ``m_i``."""
+    return sum(1 for s in segments if isinstance(s, ObjectAccess))
+
+
+def access_time(segments: tuple[Segment, ...]) -> int:
+    """Total intrinsic object-access time of a segment sequence."""
+    return sum(s.duration for s in segments if isinstance(s, ObjectAccess))
+
+
+def accessed_objects(segments: tuple[Segment, ...]) -> frozenset[int | str]:
+    """Identifiers of all objects the segment sequence touches."""
+    return frozenset(s.obj for s in segments if isinstance(s, ObjectAccess))
+
+
+def validate_lock_structure(segments: tuple[Segment, ...]) -> None:
+    """Check the body's lock discipline, simulating the held set.
+
+    Raises ``ValueError`` when a :class:`ReleaseLock` targets an object
+    not held, an object is re-acquired while already held, or the body
+    ends with locks still held (abort rollback aside, every job must
+    release what it takes).
+    """
+    held: set[int | str] = set()
+    for index, segment in enumerate(segments):
+        if isinstance(segment, ObjectAccess):
+            if segment.obj in held:
+                raise ValueError(
+                    f"segment {index}: re-acquiring held object "
+                    f"{segment.obj!r}"
+                )
+            if not segment.release_at_end:
+                held.add(segment.obj)
+        elif isinstance(segment, ReleaseLock):
+            if segment.obj not in held:
+                raise ValueError(
+                    f"segment {index}: releasing object {segment.obj!r} "
+                    "that is not held"
+                )
+            held.remove(segment.obj)
+    if held:
+        raise ValueError(
+            f"body ends with locks still held: {sorted(map(str, held))}"
+        )
+

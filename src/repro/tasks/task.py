@@ -1,0 +1,76 @@
+"""Static task specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arrivals.spec import UAMSpec
+from repro.tasks import segments as seg
+from repro.tasks.segments import Segment
+from repro.tuf.base import TimeUtilityFunction
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A recurrent task ``T_i`` of the paper's model.
+
+    Attributes mirror the paper's notation:
+
+    * ``arrival`` — the UAM tuple ``<l_i, a_i, W_i>``;
+    * ``tuf`` — the task's TUF ``U_i(.)`` with critical time ``C_i``
+      (the model requires ``C_i <= W_i``, enforced here);
+    * ``body`` — the job body as a segment sequence, from which the pure
+      computation time ``u_i``, the access count ``m_i`` and the total
+      execution estimate ``c_i`` derive;
+    * ``abort_handler_time`` — execution time of the abort-exception
+      handler run when the job's critical time expires (Section 3.5).
+    """
+
+    name: str
+    arrival: UAMSpec
+    tuf: TimeUtilityFunction
+    body: tuple[Segment, ...]
+    abort_handler_time: int = 0
+    # Derived, filled in __post_init__.
+    compute_time: int = field(init=False)
+    access_count: int = field(init=False)
+    access_time: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        if self.tuf.critical_time > self.arrival.window:
+            raise ValueError(
+                f"task {self.name}: critical time {self.tuf.critical_time} "
+                f"exceeds UAM window {self.arrival.window} (the model "
+                "assumes C_i <= W_i)"
+            )
+        if self.abort_handler_time < 0:
+            raise ValueError("abort handler time must be non-negative")
+        if not self.body:
+            raise ValueError("task body must have at least one segment")
+        seg.validate_lock_structure(self.body)
+        object.__setattr__(self, "compute_time", seg.compute_time(self.body))
+        object.__setattr__(self, "access_count", seg.access_count(self.body))
+        object.__setattr__(self, "access_time", seg.access_time(self.body))
+
+    @property
+    def critical_time(self) -> int:
+        """The task's relative critical time ``C_i``."""
+        return self.tuf.critical_time
+
+    @property
+    def execution_estimate(self) -> int:
+        """Nominal execution demand ``c_i = u_i + sum of intrinsic access
+        times`` (mechanism costs are added by the synchronization layer at
+        run time)."""
+        return self.compute_time + self.access_time
+
+    @property
+    def accessed_objects(self) -> frozenset[int | str]:
+        return seg.accessed_objects(self.body)
+
+    def utilization_bound(self) -> float:
+        """Peak processor demand of this task: up to ``a_i`` jobs per
+        window, each needing ``c_i``."""
+        return self.arrival.max_arrivals * self.execution_estimate / self.arrival.window

@@ -1,0 +1,91 @@
+"""Base protocol for Time/Utility Functions.
+
+The paper constrains TUFs only lightly (Section 2): a TUF can take an
+arbitrary shape but must have a *single* critical time, i.e. the time at
+which the function drops to zero, and it yields zero utility from the
+critical time onwards.  The scheduler additionally cares about two derived
+quantities: the maximum attainable utility (used to normalize the Accrued
+Utility Ratio) and whether the TUF is non-increasing (used by Theorem 3's
+discussion and by Lemmas 4/5, which require non-increasing TUFs).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class TimeUtilityFunction(ABC):
+    """Utility of completing a job, as a function of its sojourn time.
+
+    Subclasses implement :meth:`utility`.  The function argument is the
+    *sojourn time* — completion time minus release time — in integer
+    nanoseconds (see repro.units).  Implementations must guarantee:
+
+    * ``utility(t) == 0`` for every ``t >= critical_time``;
+    * ``utility(t) >= 0`` for every ``t`` (negative utility is not part of
+      the paper's model — a job that misses its critical time is aborted
+      and simply accrues zero);
+    * ``critical_time > 0``.
+    """
+
+    #: Relative time at which the TUF drops to (and stays at) zero.
+    critical_time: int
+
+    @abstractmethod
+    def utility(self, sojourn: int) -> float:
+        """Return the utility accrued by completing ``sojourn`` ticks after
+        release."""
+
+    @property
+    def max_utility(self) -> float:
+        """Largest utility the TUF can yield over ``[0, critical_time)``.
+
+        Used as the denominator of the Accrued Utility Ratio.  For the
+        non-increasing shapes the paper evaluates, this equals
+        ``utility(0)``; increasing shapes override :meth:`_max_utility`.
+        """
+        return self._max_utility()
+
+    def _max_utility(self) -> float:
+        return self.utility(0)
+
+    def is_non_increasing(self, samples: int = 256) -> bool:
+        """Heuristically test monotonicity by dense sampling.
+
+        Exact for the piecewise shapes shipped in :mod:`repro.tuf.shapes`
+        as long as ``samples`` exceeds the number of pieces, which it does
+        by a wide margin for every catalogued shape.
+        """
+        step = max(1, self.critical_time // samples)
+        previous = self.utility(0)
+        for t in range(step, self.critical_time + step, step):
+            current = self.utility(t)
+            if current > previous + 1e-12:
+                return False
+            previous = current
+        return True
+
+    def __call__(self, sojourn: int) -> float:
+        return self.utility(sojourn)
+
+
+def check_tuf_wellformed(tuf: TimeUtilityFunction, samples: int = 512) -> None:
+    """Raise ``ValueError`` if ``tuf`` violates the paper's TUF contract.
+
+    Checks positivity of the critical time, non-negativity of sampled
+    utilities, and that the function is zero at and beyond the critical
+    time.
+    """
+    if tuf.critical_time <= 0:
+        raise ValueError(f"critical time must be positive, got {tuf.critical_time}")
+    step = max(1, tuf.critical_time // samples)
+    for t in range(0, tuf.critical_time, step):
+        u = tuf.utility(t)
+        if u < 0:
+            raise ValueError(f"negative utility {u} at sojourn {t}")
+    for t in (tuf.critical_time, tuf.critical_time + 1, tuf.critical_time * 2):
+        u = tuf.utility(t)
+        if u != 0:
+            raise ValueError(
+                f"utility must be zero at/after the critical time; got {u} at {t}"
+            )

@@ -1,0 +1,101 @@
+"""Named TUFs reconstructing the application examples of the paper.
+
+Figure 1 of the paper shows time constraints from two real applications
+cited in its introduction:
+
+* an adaptive airborne tracking system (AWACS) [Clark et al. 1999], whose
+  track-association activity has a step TUF and whose plot-correlation and
+  track-maintenance activities have decaying TUFs;
+* a coastal-surveillance / air-defense system [Maynard et al. 1988], with
+  piecewise-linear TUFs for plot correlation and track maintenance and an
+  increasing TUF for missile intercept.
+
+The exact numeric profiles are not given in the paper, so these factories
+fix representative magnitudes (milliseconds-scale critical times, unit-ish
+utilities) that preserve the published *shapes*.  The heterogeneous mix
+used across the Section 6.2 experiments is reproduced by
+:func:`heterogeneous_tuf_mix`.
+"""
+
+from __future__ import annotations
+
+from repro.tuf.base import TimeUtilityFunction
+from repro.tuf.shapes import (
+    LinearDecreasingTUF,
+    ParabolicTUF,
+    PiecewiseLinearTUF,
+    RampUpTUF,
+    StepTUF,
+)
+
+
+def awacs_association_tuf(critical_time: int = 50_000,
+                          importance: float = 1.0) -> StepTUF:
+    """Track association: classical hard step at the critical time."""
+    return StepTUF(critical_time=critical_time, height=importance)
+
+
+def awacs_plot_correlation_tuf(critical_time: int = 40_000,
+                               importance: float = 1.0) -> ParabolicTUF:
+    """Plot correlation: utility decays parabolically — early correlation
+    of sensor plots is much more valuable than late correlation."""
+    return ParabolicTUF(critical_time=critical_time, initial=importance)
+
+
+def awacs_track_maintenance_tuf(critical_time: int = 60_000,
+                                importance: float = 1.0) -> LinearDecreasingTUF:
+    """Track maintenance: linearly decaying utility until track data is
+    useless at the critical time."""
+    return LinearDecreasingTUF(critical_time=critical_time, initial=importance)
+
+
+def coastal_surveillance_tuf(critical_time: int = 80_000,
+                             importance: float = 1.0) -> PiecewiseLinearTUF:
+    """Coastal-surveillance plot correlation: full utility for an initial
+    grace interval, then linear decay to zero (Figure 1(c) style)."""
+    grace = critical_time // 4
+    return PiecewiseLinearTUF(points=(
+        (0, importance),
+        (grace, importance),
+        (critical_time, 0.0),
+    ))
+
+
+def missile_intercept_tuf(critical_time: int = 30_000,
+                          importance: float = 1.0) -> RampUpTUF:
+    """Intercept: utility increases as the intercept point nears, then
+    drops to zero — the canonical increasing TUF of Figure 1(c)."""
+    return RampUpTUF(critical_time=critical_time,
+                     start=importance * 0.2, peak=importance)
+
+
+def step_tuf_mix(critical_times: list[int],
+                 importances: list[float] | None = None) -> list[TimeUtilityFunction]:
+    """Homogeneous step-TUF class used in Figures 10 and 12."""
+    if importances is None:
+        importances = [1.0] * len(critical_times)
+    if len(importances) != len(critical_times):
+        raise ValueError("importances and critical_times must align")
+    return [StepTUF(critical_time=c, height=h)
+            for c, h in zip(critical_times, importances)]
+
+
+def heterogeneous_tuf_mix(critical_times: list[int],
+                          importances: list[float] | None = None
+                          ) -> list[TimeUtilityFunction]:
+    """Heterogeneous class of Figures 11, 13, 14: step, parabolic and
+    linearly-decreasing shapes cycled across the task set."""
+    if importances is None:
+        importances = [1.0] * len(critical_times)
+    if len(importances) != len(critical_times):
+        raise ValueError("importances and critical_times must align")
+    shapes: list[TimeUtilityFunction] = []
+    for index, (c, h) in enumerate(zip(critical_times, importances)):
+        kind = index % 3
+        if kind == 0:
+            shapes.append(StepTUF(critical_time=c, height=h))
+        elif kind == 1:
+            shapes.append(ParabolicTUF(critical_time=c, initial=h))
+        else:
+            shapes.append(LinearDecreasingTUF(critical_time=c, initial=h))
+    return shapes

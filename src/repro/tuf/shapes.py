@@ -1,0 +1,244 @@
+"""Concrete TUF shapes.
+
+The paper's evaluation (Section 6.2) uses two TUF classes: a homogeneous
+class of downward step shapes and a heterogeneous class mixing step,
+parabolic and linearly-decreasing shapes.  Figure 1 of the paper
+additionally motivates piecewise-linear and increasing shapes from two real
+applications (the AWACS tracker and a coastal-surveillance system); those
+are provided here as well so the catalog in :mod:`repro.tuf.catalog` can
+reconstruct them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tuf.base import TimeUtilityFunction
+
+
+@dataclass(frozen=True)
+class StepTUF(TimeUtilityFunction):
+    """Binary-valued downward step: the classical deadline.
+
+    Completing any time before ``critical_time`` accrues ``height``;
+    completing at or after it accrues zero.  The paper treats deadlines as
+    this special TUF case throughout.
+    """
+
+    critical_time: int
+    height: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.critical_time <= 0:
+            raise ValueError("critical_time must be positive")
+        if self.height <= 0:
+            raise ValueError("height must be positive")
+
+    def utility(self, sojourn: int) -> float:
+        return self.height if 0 <= sojourn < self.critical_time else 0.0
+
+
+@dataclass(frozen=True)
+class LinearDecreasingTUF(TimeUtilityFunction):
+    """Utility decays linearly from ``initial`` at release to zero at the
+    critical time."""
+
+    critical_time: int
+    initial: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.critical_time <= 0:
+            raise ValueError("critical_time must be positive")
+        if self.initial <= 0:
+            raise ValueError("initial utility must be positive")
+
+    def utility(self, sojourn: int) -> float:
+        if sojourn < 0 or sojourn >= self.critical_time:
+            return 0.0
+        return self.initial * (1.0 - sojourn / self.critical_time)
+
+
+@dataclass(frozen=True)
+class ParabolicTUF(TimeUtilityFunction):
+    """Downward parabola: ``initial * (1 - (t/C)^2)``.
+
+    Decays slowly at first, then steeply toward the critical time — one of
+    the heterogeneous shapes in the paper's Section 6.2 experiments.
+    """
+
+    critical_time: int
+    initial: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.critical_time <= 0:
+            raise ValueError("critical_time must be positive")
+        if self.initial <= 0:
+            raise ValueError("initial utility must be positive")
+
+    def utility(self, sojourn: int) -> float:
+        if sojourn < 0 or sojourn >= self.critical_time:
+            return 0.0
+        x = sojourn / self.critical_time
+        return self.initial * (1.0 - x * x)
+
+
+@dataclass(frozen=True)
+class RampUpTUF(TimeUtilityFunction):
+    """Utility *increases* linearly from ``start`` to ``peak`` and drops to
+    zero at the critical time.
+
+    Models activities whose value grows with completion time until a hard
+    cutoff — e.g. the intercept TUF of the coastal-surveillance application
+    in Figure 1(c) of the paper.  Note Theorem 3's caveat: shorter sojourn
+    times do not always increase utility for increasing TUFs.
+    """
+
+    critical_time: int
+    start: float = 0.0
+    peak: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.critical_time <= 0:
+            raise ValueError("critical_time must be positive")
+        if self.peak < self.start:
+            raise ValueError("peak must be >= start for a ramp-up shape")
+        if self.start < 0:
+            raise ValueError("start must be non-negative")
+
+    def utility(self, sojourn: int) -> float:
+        if sojourn < 0 or sojourn >= self.critical_time:
+            return 0.0
+        frac = sojourn / self.critical_time
+        return self.start + (self.peak - self.start) * frac
+
+    def _max_utility(self) -> float:
+        # The supremum is approached just before the critical time.
+        return self.utility(self.critical_time - 1)
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearTUF(TimeUtilityFunction):
+    """TUF defined by linear interpolation between ``(time, utility)``
+    breakpoints.
+
+    The last breakpoint must carry zero utility and its time is the
+    critical time.  Breakpoint times must be strictly increasing, start at
+    zero, and utilities must be non-negative.  This is the general shape
+    from which Figure 1's application TUFs are built.
+    """
+
+    points: tuple[tuple[int, float], ...]
+    critical_time: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ValueError("need at least two breakpoints")
+        if self.points[0][0] != 0:
+            raise ValueError("first breakpoint must be at time 0")
+        times = [t for t, _ in self.points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("breakpoint times must be strictly increasing")
+        if any(u < 0 for _, u in self.points):
+            raise ValueError("utilities must be non-negative")
+        if self.points[-1][1] != 0:
+            raise ValueError("last breakpoint must have zero utility")
+        object.__setattr__(self, "critical_time", self.points[-1][0])
+
+    def utility(self, sojourn: int) -> float:
+        if sojourn < 0 or sojourn >= self.critical_time:
+            return 0.0
+        for (t0, u0), (t1, u1) in zip(self.points, self.points[1:]):
+            if t0 <= sojourn <= t1:
+                if t1 == t0:
+                    return u1
+                return u0 + (u1 - u0) * (sojourn - t0) / (t1 - t0)
+        return 0.0
+
+    def _max_utility(self) -> float:
+        return max(u for _, u in self.points)
+
+
+@dataclass(frozen=True)
+class TableTUF(TimeUtilityFunction):
+    """TUF sampled on a uniform grid, held constant between samples.
+
+    Useful for importing empirically specified utility profiles.  The value
+    for sojourn ``t`` is ``values[t // resolution]``; beyond the table the
+    utility is zero and the critical time is ``len(values) * resolution``.
+    """
+
+    values: tuple[float, ...]
+    resolution: int = 1
+    critical_time: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("values must be non-empty")
+        if self.resolution <= 0:
+            raise ValueError("resolution must be positive")
+        if any(v < 0 for v in self.values):
+            raise ValueError("utilities must be non-negative")
+        object.__setattr__(
+            self, "critical_time", len(self.values) * self.resolution
+        )
+
+    def utility(self, sojourn: int) -> float:
+        if sojourn < 0 or sojourn >= self.critical_time:
+            return 0.0
+        return self.values[sojourn // self.resolution]
+
+    def _max_utility(self) -> float:
+        return max(self.values)
+
+
+@dataclass(frozen=True)
+class ScaledTUF(TimeUtilityFunction):
+    """Wrap another TUF, multiplying its utility by a positive factor.
+
+    Lets an application express relative activity importance (the Y-axis of
+    the TUF decouples importance from urgency) without redefining shape.
+    """
+
+    inner: TimeUtilityFunction
+    factor: float
+    critical_time: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+        object.__setattr__(self, "critical_time", self.inner.critical_time)
+
+    def utility(self, sojourn: int) -> float:
+        return self.factor * self.inner.utility(sojourn)
+
+    def _max_utility(self) -> float:
+        return self.factor * self.inner.max_utility
+
+
+@dataclass(frozen=True)
+class CompositeMaxTUF(TimeUtilityFunction):
+    """Pointwise maximum of several TUFs sharing one critical time.
+
+    The paper requires a *single* critical time, so all components must
+    agree on it; this keeps the composite well-formed.
+    """
+
+    components: tuple[TimeUtilityFunction, ...]
+    critical_time: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("need at least one component")
+        times = {c.critical_time for c in self.components}
+        if len(times) != 1:
+            raise ValueError(
+                "all components must share a single critical time; "
+                f"got {sorted(times)}"
+            )
+        object.__setattr__(self, "critical_time", times.pop())
+
+    def utility(self, sojourn: int) -> float:
+        return max(c.utility(sojourn) for c in self.components)
+
+    def _max_utility(self) -> float:
+        return max(c.max_utility for c in self.components)

@@ -1,0 +1,25 @@
+"""Canonical time units.
+
+All simulated times in this package are integer *nanoseconds*.  The paper
+reports times in microseconds/milliseconds; use these constants to write
+workloads in the paper's units::
+
+    from repro.units import US, MS
+    tuf = StepTUF(critical_time=50 * MS)
+    body = (Compute(300 * US),)
+"""
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+def ns_to_us(t: int | float) -> float:
+    """Convert nanoseconds to microseconds (for reporting)."""
+    return t / US
+
+
+def ns_to_ms(t: int | float) -> float:
+    """Convert nanoseconds to milliseconds (for reporting)."""
+    return t / MS

@@ -1,0 +1,134 @@
+"""Tests for the Lemma 4/5 AUR bounds."""
+
+import random
+
+import pytest
+
+from repro.analysis.aur_bounds import (
+    AURBounds,
+    lemma4_lockfree_aur_bounds,
+    lemma5_lockbased_aur_bounds,
+)
+from repro.arrivals import UAMSpec
+from repro.experiments.runner import run_once
+from repro.experiments.workloads import paper_taskset
+from repro.tasks import make_task
+from repro.tuf import LinearDecreasingTUF, RampUpTUF, StepTUF
+
+
+def _tasks():
+    return [
+        make_task("A", UAMSpec(1, 2, 10_000), StepTUF(8_000),
+                  compute=1_000, accesses=[(0, 100)]),
+        make_task("B", UAMSpec(1, 1, 20_000),
+                  LinearDecreasingTUF(critical_time=15_000),
+                  compute=2_000, accesses=[(0, 100), (1, 100)]),
+    ]
+
+
+class TestAURBoundsType:
+    def test_contains(self):
+        bounds = AURBounds(lower=0.4, upper=0.9)
+        assert bounds.contains(0.6)
+        assert not bounds.contains(0.95)
+        assert bounds.contains(0.95, slack=0.1)
+
+
+class TestLemma4:
+    def test_upper_exceeds_lower(self):
+        tasks = _tasks()
+        bounds = lemma4_lockfree_aur_bounds(
+            tasks, s=200.0, interference=[500.0, 700.0],
+            retry_time=[400.0, 200.0])
+        assert 0.0 <= bounds.lower <= bounds.upper <= 1.0
+
+    def test_zero_interference_tightens_to_upper(self):
+        tasks = _tasks()
+        loose = lemma4_lockfree_aur_bounds(
+            tasks, s=200.0, interference=[5000.0, 5000.0],
+            retry_time=[0.0, 0.0])
+        tight = lemma4_lockfree_aur_bounds(
+            tasks, s=200.0, interference=[0.0, 0.0],
+            retry_time=[0.0, 0.0])
+        assert tight.lower >= loose.lower
+
+    def test_step_tufs_with_feasible_sojourns_bound_is_one(self):
+        # Step TUFs: any sojourn below the critical time accrues full
+        # utility, so both bounds hit 1.
+        tasks = [make_task("A", UAMSpec(1, 1, 10_000), StepTUF(8_000),
+                           compute=1_000)]
+        bounds = lemma4_lockfree_aur_bounds(tasks, s=0.0,
+                                            interference=[100.0],
+                                            retry_time=[0.0])
+        assert bounds.lower == pytest.approx(1.0)
+        assert bounds.upper == pytest.approx(1.0)
+
+    def test_rejects_increasing_tufs(self):
+        tasks = [make_task("A", UAMSpec(1, 1, 10_000),
+                           RampUpTUF(critical_time=8_000), compute=100)]
+        with pytest.raises(ValueError, match="non-increasing"):
+            lemma4_lockfree_aur_bounds(tasks, s=1.0, interference=[0.0],
+                                       retry_time=[0.0])
+
+    def test_rejects_misaligned_vectors(self):
+        with pytest.raises(ValueError, match="align"):
+            lemma4_lockfree_aur_bounds(_tasks(), s=1.0, interference=[0.0],
+                                       retry_time=[0.0, 0.0])
+
+
+class TestLemma5:
+    def test_mirror_of_lemma4(self):
+        tasks = _tasks()
+        lf = lemma4_lockfree_aur_bounds(tasks, s=300.0,
+                                        interference=[100.0, 100.0],
+                                        retry_time=[50.0, 50.0])
+        lb = lemma5_lockbased_aur_bounds(tasks, r=300.0,
+                                         interference=[100.0, 100.0],
+                                         blocking_time=[50.0, 50.0])
+        assert lf == lb  # identical inputs -> identical bounds
+
+    def test_larger_r_lowers_upper_bound(self):
+        tasks = _tasks()
+        cheap = lemma5_lockbased_aur_bounds(tasks, r=10.0,
+                                            interference=[0.0, 0.0],
+                                            blocking_time=[0.0, 0.0])
+        pricey = lemma5_lockbased_aur_bounds(tasks, r=5_000.0,
+                                             interference=[0.0, 0.0],
+                                             blocking_time=[0.0, 0.0])
+        assert pricey.upper <= cheap.upper
+
+
+class TestBoundsHoldInSimulation:
+    @pytest.mark.parametrize("sync,lemma", [("lockfree", 4),
+                                            ("lockbased", 5)])
+    def test_measured_aur_within_bounds(self, sync, lemma):
+        rng = random.Random(11)
+        tasks = paper_taskset(rng, n_tasks=6, accesses_per_job=2,
+                              target_load=0.3, tuf_class="step")
+        results = [
+            run_once(tasks, sync, horizon=200_000_000,
+                     rng=random.Random(seed))
+            for seed in range(3)
+        ]
+        interference = []
+        for task in tasks:
+            worst = max((r.max_sojourn(task.name) or 0) for r in results)
+            interference.append(max(0.0, worst - task.execution_estimate))
+        zeros = [0.0] * len(tasks)
+        if sync == "lockfree":
+            mech = max((r.mean_lockfree_mechanism_per_access or 0.0)
+                       for r in results)
+            bounds = lemma4_lockfree_aur_bounds(
+                tasks, s=2_000 + mech, interference=interference,
+                retry_time=zeros)
+        else:
+            mech = max((r.mean_lock_mechanism_per_access or 0.0)
+                       for r in results)
+            bounds = lemma5_lockbased_aur_bounds(
+                tasks, r=2_000 + mech, interference=interference,
+                blocking_time=zeros)
+        for result in results:
+            assert bounds.contains(result.aur, slack=0.02), (
+                f"AUR {result.aur} outside Lemma {lemma} bounds "
+                f"[{bounds.lower}, {bounds.upper}]"
+            )

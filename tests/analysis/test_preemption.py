@@ -1,0 +1,54 @@
+"""Tests for Lemma 1 event counting."""
+
+import pytest
+
+from repro.analysis.preemption import max_scheduling_events, releases_in_interval
+from repro.arrivals import UAMSpec
+from tests.helpers import run_scenario, simple_task, zero_cost_policy
+
+
+class TestReleaseCounting:
+    def test_matches_spec_helper(self):
+        spec = UAMSpec(1, 3, 100)
+        for interval in (0, 50, 100, 250):
+            assert releases_in_interval(spec, interval) == \
+                spec.max_arrivals_in(interval)
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            releases_in_interval(UAMSpec(1, 1, 10), -1)
+
+
+class TestEventCounting:
+    def test_single_task_is_3a(self):
+        specs = [UAMSpec(1, 2, 1000)]
+        assert max_scheduling_events(specs, 0, interval=500) == 6
+
+    def test_other_tasks_contribute_two_per_release(self):
+        specs = [UAMSpec(1, 1, 1000), UAMSpec(1, 1, 400)]
+        # observer 0 over C=800: other task releases <= ceil(800/400)+1=3,
+        # two events each => 6; own 3a = 3.
+        assert max_scheduling_events(specs, 0, interval=800) == 9
+
+    def test_index_validation(self):
+        with pytest.raises(IndexError):
+            max_scheduling_events([UAMSpec(1, 1, 10)], 5, 10)
+
+
+class TestLemma1InSimulation:
+    def test_preemptions_never_exceed_scheduler_invocations(self):
+        tasks = [
+            simple_task("A", critical_us=4000, compute_us=900,
+                        window_us=5000),
+            simple_task("B", critical_us=2500, compute_us=600,
+                        window_us=5000),
+            simple_task("C", critical_us=1500, compute_us=300,
+                        window_us=5000),
+        ]
+        traces = [[0, 5000, 10_000], [300, 5300, 10_300],
+                  [600, 5600, 10_600]]
+        _, result = run_scenario(tasks, traces,
+                                 policy=zero_cost_policy("rua-lockfree"),
+                                 horizon_us=20_000)
+        total_preemptions = sum(r.preemptions for r in result.records)
+        assert total_preemptions <= result.scheduler_invocations

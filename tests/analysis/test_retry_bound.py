@@ -1,0 +1,110 @@
+"""Tests for the Theorem 2 retry bound."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.retry_bound import (
+    interference_events,
+    retry_bound,
+    retry_bound_for_taskset,
+    x_i,
+)
+from repro.arrivals import UAMSpec
+from repro.experiments.workloads import paper_taskset
+from repro.experiments.runner import run_once
+from repro.sim.objects import RetryPolicy
+
+
+class TestFormula:
+    def test_single_task_bound_is_3a(self):
+        observer = UAMSpec(1, 2, 1000)
+        assert retry_bound(observer, [], critical_time=800) == 6
+
+    def test_matches_paper_expression(self):
+        observer = UAMSpec(1, 1, 1000)
+        others = [UAMSpec(1, 2, 300), UAMSpec(1, 1, 500)]
+        c = 900
+        expected = 3 * 1 + 2 * (
+            2 * (math.ceil(c / 300) + 1) + 1 * (math.ceil(c / 500) + 1))
+        assert retry_bound(observer, others, critical_time=c) == expected
+
+    def test_short_critical_time_still_two_windows(self):
+        # ceil(C/W)+1 = 2 even when C < W (the paper notes this case).
+        observer = UAMSpec(1, 1, 1000)
+        others = [UAMSpec(1, 3, 5000)]
+        assert interference_events(observer, others, critical_time=100) == 6
+
+    def test_bound_independent_of_object_count(self):
+        # f_i depends only on arrival parameters and C_i — not on how
+        # many lock-free objects the job accesses (paper's remark after
+        # Theorem 2).
+        observer = UAMSpec(1, 1, 1000)
+        others = [UAMSpec(1, 1, 700)]
+        assert (retry_bound(observer, others, 900)
+                == retry_bound(observer, others, 900))
+
+    def test_rejects_bad_critical_time(self):
+        with pytest.raises(ValueError):
+            interference_events(UAMSpec(1, 1, 10), [], critical_time=0)
+
+    @given(a_i=st.integers(1, 5), a_j=st.integers(1, 5),
+           w=st.integers(10, 10_000), c=st.integers(1, 10_000))
+    def test_monotone_in_critical_time(self, a_i, a_j, w, c):
+        observer = UAMSpec(1, a_i, max(c, 1))
+        others = [UAMSpec(1, a_j, w)]
+        shorter = retry_bound(observer, others, max(1, c // 2))
+        longer = retry_bound(observer, others, c)
+        assert longer >= shorter
+
+
+class TestTasksetHelpers:
+    def _tasks(self):
+        rng = random.Random(1)
+        return paper_taskset(rng, n_tasks=4, accesses_per_job=2,
+                             target_load=0.5)
+
+    def test_bound_for_every_task(self):
+        tasks = self._tasks()
+        for index in range(len(tasks)):
+            bound = retry_bound_for_taskset(tasks, index)
+            assert bound >= 3  # at least the task's own 3*a_i
+
+    def test_x_i_consistency(self):
+        tasks = self._tasks()
+        for index, task in enumerate(tasks):
+            bound = retry_bound_for_taskset(tasks, index)
+            assert bound == (3 * task.arrival.max_arrivals
+                             + 2 * x_i(index, tasks))
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            retry_bound_for_taskset(self._tasks(), 99)
+
+
+class TestBoundHoldsInSimulation:
+    """Theorem 2 soundness: measured per-job retries never exceed f_i,
+    under either retry policy, even with adversarial bursty arrivals."""
+
+    @pytest.mark.parametrize("policy", [RetryPolicy.ON_CONFLICT,
+                                        RetryPolicy.ON_PREEMPTION])
+    @pytest.mark.parametrize("style", ["uniform", "bursty"])
+    def test_measured_retries_within_bound(self, policy, style):
+        rng = random.Random(7)
+        tasks = paper_taskset(rng, n_tasks=6, accesses_per_job=4,
+                              target_load=1.0, max_arrivals=2)
+        bounds = {
+            task.name: retry_bound_for_taskset(tasks, index)
+            for index, task in enumerate(tasks)
+        }
+        for seed in range(3):
+            result = run_once(tasks, "lockfree",
+                              horizon=150_000_000,
+                              rng=random.Random(seed),
+                              arrival_style=style, retry_policy=policy)
+            for record in result.records:
+                assert record.retries <= bounds[record.task_name], (
+                    f"{record.task_name} exceeded its Theorem 2 bound"
+                )

@@ -1,0 +1,161 @@
+"""Tests for UAM arrival generators — conformance by construction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arrivals import (
+    BurstyUAMGenerator,
+    PeriodicGenerator,
+    PoissonThinnedUAMGenerator,
+    UAMSpec,
+    UniformUAMGenerator,
+    check_uam,
+    generator_for,
+    max_arrivals_in_any_window,
+)
+
+specs = st.builds(
+    UAMSpec,
+    min_arrivals=st.integers(min_value=0, max_value=4),
+    max_arrivals=st.integers(min_value=4, max_value=8),
+    window=st.integers(min_value=50, max_value=5000),
+)
+
+
+def _conforms(generator, spec, seed, horizon=None):
+    horizon = horizon or spec.window * 12
+    trace = generator.generate(random.Random(seed), horizon)
+    assert trace == sorted(trace)
+    assert all(0 <= t < horizon for t in trace)
+    return check_uam(trace, spec, horizon=horizon)
+
+
+class TestPeriodicGenerator:
+    def test_exact_periodic_trace(self):
+        gen = PeriodicGenerator(period=100)
+        trace = gen.generate(random.Random(0), 1000)
+        assert trace == list(range(0, 1000, 100))
+
+    def test_phase_offsets_trace(self):
+        gen = PeriodicGenerator(period=100, phase=30)
+        trace = gen.generate(random.Random(0), 500)
+        assert trace[0] == 30
+
+    def test_no_jitter_conforms_to_periodic_spec(self):
+        gen = PeriodicGenerator(period=100)
+        assert _conforms(gen, gen.spec, seed=1) == []
+
+    def test_jitter_conforms_to_widened_spec(self):
+        gen = PeriodicGenerator(period=100, jitter=25)
+        assert gen.spec == UAMSpec(0, 2, 100)
+        for seed in range(10):
+            assert _conforms(gen, gen.spec, seed=seed) == []
+
+    def test_rejects_oversized_jitter(self):
+        with pytest.raises(ValueError):
+            PeriodicGenerator(period=100, jitter=26)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            PeriodicGenerator(period=0)
+
+
+class TestUniformUAMGenerator:
+    @settings(max_examples=40, deadline=None)
+    @given(spec=specs, seed=st.integers(0, 1000),
+           burstiness=st.sampled_from([0.0, 0.5, 1.0]))
+    def test_always_conformant(self, spec, seed, burstiness):
+        gen = UniformUAMGenerator(spec, burstiness=burstiness)
+        assert _conforms(gen, spec, seed) == []
+
+    def test_zero_burstiness_is_exactly_the_grid(self):
+        spec = UAMSpec(min_arrivals=2, max_arrivals=5, window=100)
+        gen = UniformUAMGenerator(spec, burstiness=0.0)
+        trace = gen.generate(random.Random(0), 1000)
+        # Exactly l arrivals per window, in every window.
+        assert len(trace) == 2 * 10
+
+    def test_burstiness_increases_volume(self):
+        spec = UAMSpec(min_arrivals=1, max_arrivals=6, window=100)
+        quiet = UniformUAMGenerator(spec, burstiness=0.1)
+        busy = UniformUAMGenerator(spec, burstiness=1.0)
+        horizon = 10_000
+        n_quiet = len(quiet.generate(random.Random(5), horizon))
+        n_busy = len(busy.generate(random.Random(5), horizon))
+        assert n_busy > n_quiet
+
+    def test_rejects_bad_burstiness(self):
+        with pytest.raises(ValueError):
+            UniformUAMGenerator(UAMSpec(1, 2, 10), burstiness=1.5)
+
+
+class TestBurstyUAMGenerator:
+    def test_bursts_saturate_the_envelope(self):
+        spec = UAMSpec(min_arrivals=1, max_arrivals=4, window=100)
+        gen = BurstyUAMGenerator(spec)
+        trace = gen.generate(random.Random(0), 1000)
+        assert max_arrivals_in_any_window(trace, 100) == 4
+        assert check_uam(trace, spec, horizon=1000) == []
+
+    def test_burst_positions_are_window_starts(self):
+        spec = UAMSpec(min_arrivals=1, max_arrivals=3, window=50)
+        trace = BurstyUAMGenerator(spec, phase=10).generate(
+            random.Random(0), 200)
+        assert trace == sorted([10, 60, 110, 160] * 3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=specs, seed=st.integers(0, 100))
+    def test_always_conformant(self, spec, seed):
+        gen = BurstyUAMGenerator(spec)
+        assert _conforms(gen, spec, seed) == []
+
+
+class TestPoissonThinnedUAMGenerator:
+    @settings(max_examples=30, deadline=None)
+    @given(spec=specs, seed=st.integers(0, 100),
+           intensity=st.sampled_from([0.3, 1.0, 3.0]))
+    def test_always_conformant(self, spec, seed, intensity):
+        gen = PoissonThinnedUAMGenerator(spec, intensity=intensity)
+        assert _conforms(gen, spec, seed) == []
+
+    def test_high_intensity_approaches_envelope(self):
+        spec = UAMSpec(min_arrivals=0, max_arrivals=5, window=100)
+        gen = PoissonThinnedUAMGenerator(spec, intensity=10.0)
+        trace = gen.generate(random.Random(3), 5000)
+        # Thinning should leave nearly a-per-window density.
+        assert len(trace) > 0.7 * 5 * 50
+
+    def test_rejects_nonpositive_intensity(self):
+        with pytest.raises(ValueError):
+            PoissonThinnedUAMGenerator(UAMSpec(0, 1, 10), intensity=0)
+
+
+class TestFactory:
+    def test_all_styles_resolve(self):
+        spec = UAMSpec(1, 3, 100)
+        for style, cls in (("uniform", UniformUAMGenerator),
+                           ("bursty", BurstyUAMGenerator),
+                           ("poisson", PoissonThinnedUAMGenerator)):
+            assert isinstance(generator_for(spec, style), cls)
+
+    def test_periodic_style_requires_periodic_spec(self):
+        assert isinstance(
+            generator_for(UAMSpec.periodic(10), "periodic"),
+            PeriodicGenerator,
+        )
+        with pytest.raises(ValueError):
+            generator_for(UAMSpec(1, 2, 10), "periodic")
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            generator_for(UAMSpec(1, 1, 10), "fractal")
+
+
+def test_determinism_same_seed_same_trace():
+    spec = UAMSpec(1, 4, 200)
+    gen = UniformUAMGenerator(spec)
+    a = gen.generate(random.Random(42), 5000)
+    b = gen.generate(random.Random(42), 5000)
+    assert a == b

@@ -1,0 +1,82 @@
+"""Tests for the UAM spec type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arrivals import UAMSpec
+
+
+class TestValidation:
+    def test_accepts_basic_tuple(self):
+        spec = UAMSpec(min_arrivals=1, max_arrivals=3, window=1000)
+        assert spec.window == 1000
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            UAMSpec(min_arrivals=0, max_arrivals=1, window=0)
+
+    def test_rejects_negative_min(self):
+        with pytest.raises(ValueError):
+            UAMSpec(min_arrivals=-1, max_arrivals=1, window=10)
+
+    def test_rejects_zero_max(self):
+        with pytest.raises(ValueError):
+            UAMSpec(min_arrivals=0, max_arrivals=0, window=10)
+
+    def test_rejects_min_above_max(self):
+        with pytest.raises(ValueError):
+            UAMSpec(min_arrivals=3, max_arrivals=2, window=10)
+
+
+class TestPeriodicSpecialCase:
+    def test_periodic_constructor(self):
+        spec = UAMSpec.periodic(500)
+        assert spec == UAMSpec(min_arrivals=1, max_arrivals=1, window=500)
+        assert spec.is_periodic
+
+    def test_non_periodic_flag(self):
+        assert not UAMSpec(1, 2, 500).is_periodic
+        assert not UAMSpec(0, 1, 500).is_periodic
+
+
+class TestRates:
+    def test_peak_and_guaranteed_rates(self):
+        spec = UAMSpec(min_arrivals=2, max_arrivals=6, window=300)
+        assert spec.peak_rate == pytest.approx(6 / 300)
+        assert spec.guaranteed_rate == pytest.approx(2 / 300)
+
+
+class TestIntervalCounting:
+    def test_zero_interval_allows_one_burst(self):
+        spec = UAMSpec(1, 4, 100)
+        assert spec.max_arrivals_in(0) == 4
+
+    def test_interval_shorter_than_window_gives_two_bursts(self):
+        # Theorem 2 proof: ceil(C/W)+1 = 2 when C < W.
+        spec = UAMSpec(1, 3, 100)
+        assert spec.max_arrivals_in(50) == 6
+
+    def test_exact_window_multiples(self):
+        spec = UAMSpec(1, 2, 100)
+        assert spec.max_arrivals_in(100) == 4   # (1 + 1) * 2
+        assert spec.max_arrivals_in(200) == 6   # (2 + 1) * 2
+
+    def test_min_counting_floors(self):
+        spec = UAMSpec(2, 5, 100)
+        assert spec.min_arrivals_in(99) == 0
+        assert spec.min_arrivals_in(100) == 2
+        assert spec.min_arrivals_in(250) == 4
+
+    def test_rejects_negative_intervals(self):
+        spec = UAMSpec(1, 1, 10)
+        with pytest.raises(ValueError):
+            spec.max_arrivals_in(-1)
+        with pytest.raises(ValueError):
+            spec.min_arrivals_in(-1)
+
+    @given(st.integers(min_value=1, max_value=20),
+           st.integers(min_value=1, max_value=10**6),
+           st.integers(min_value=0, max_value=10**7))
+    def test_max_bound_dominates_min_bound(self, a, window, interval):
+        spec = UAMSpec(min_arrivals=min(a, 1), max_arrivals=a, window=window)
+        assert spec.max_arrivals_in(interval) >= spec.min_arrivals_in(interval)

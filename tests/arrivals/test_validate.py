@@ -1,0 +1,85 @@
+"""Tests for sliding-window UAM validation."""
+
+import pytest
+
+from repro.arrivals import (
+    UAMSpec,
+    check_uam,
+    max_arrivals_in_any_window,
+    min_arrivals_in_any_window,
+)
+
+
+class TestMaxCounting:
+    def test_empty_trace(self):
+        assert max_arrivals_in_any_window([], 10) == 0
+
+    def test_single_arrival(self):
+        assert max_arrivals_in_any_window([5], 10) == 1
+
+    def test_cluster_inside_window(self):
+        assert max_arrivals_in_any_window([0, 1, 2, 50], 10) == 3
+
+    def test_simultaneous_arrivals(self):
+        assert max_arrivals_in_any_window([7, 7, 7], 10) == 3
+
+    def test_boundary_is_half_open(self):
+        # Window [0, 10) excludes the arrival at exactly t=10.
+        assert max_arrivals_in_any_window([0, 10], 10) == 1
+        assert max_arrivals_in_any_window([0, 9], 10) == 2
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            max_arrivals_in_any_window([1], 0)
+
+
+class TestMinCounting:
+    def test_dense_trace_min(self):
+        times = list(range(0, 100, 10))
+        assert min_arrivals_in_any_window(times, 20, 100) == 2
+
+    def test_gap_produces_low_min(self):
+        # Nothing in [40, 60): an empty window exists.
+        times = [0, 10, 20, 30, 70, 80, 90]
+        assert min_arrivals_in_any_window(times, 20, 100) == 0
+
+    def test_periodic_grid_has_exact_count(self):
+        # Period-10 grid: every half-open window of 30 holds exactly 3.
+        times = list(range(0, 300, 10))
+        assert min_arrivals_in_any_window(times, 30, 300) == 3
+
+    def test_rejects_horizon_below_window(self):
+        with pytest.raises(ValueError):
+            min_arrivals_in_any_window([0], 10, 5)
+
+
+class TestCheckUAM:
+    def test_conformant_trace_has_no_violations(self):
+        spec = UAMSpec(min_arrivals=1, max_arrivals=2, window=10)
+        times = [0, 5, 10, 15, 20, 25]
+        assert check_uam(times, spec, horizon=30) == []
+
+    def test_max_violation_detected(self):
+        spec = UAMSpec(min_arrivals=0, max_arrivals=2, window=10)
+        violations = check_uam([0, 1, 2], spec)
+        assert violations
+        assert all(v.kind == "max" for v in violations)
+
+    def test_min_violation_detected(self):
+        spec = UAMSpec(min_arrivals=1, max_arrivals=5, window=10)
+        violations = check_uam([0, 30], spec, horizon=40)
+        assert any(v.kind == "min" for v in violations)
+
+    def test_min_not_checked_without_horizon(self):
+        spec = UAMSpec(min_arrivals=1, max_arrivals=5, window=10)
+        assert check_uam([0, 30], spec) == []
+
+    def test_rejects_unsorted_trace(self):
+        spec = UAMSpec(0, 2, 10)
+        with pytest.raises(ValueError):
+            check_uam([5, 3], spec)
+
+    def test_violation_str_is_informative(self):
+        spec = UAMSpec(0, 1, 10)
+        violation = check_uam([0, 1], spec)[0]
+        assert "max" in str(violation)

@@ -1,0 +1,100 @@
+"""Tests for dependency-chain computation (paper Section 3.1, Figure 3)."""
+
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.core.dependency import (
+    DeadlockDetected,
+    all_dependency_chains,
+    blocking_owner,
+    dependency_chain,
+    needed_object,
+)
+from repro.sim.locks import LockManager
+from repro.tasks import Compute, Job, ObjectAccess, TaskSpec
+from repro.tuf import StepTUF
+
+
+def _job_accessing(name, objs):
+    body = tuple(ObjectAccess(obj=o, duration=10) for o in objs) or (
+        Compute(10),)
+    task = TaskSpec(name=name, arrival=UAMSpec(1, 1, 1000),
+                    tuf=StepTUF(critical_time=1000), body=body)
+    return Job(task=task, jid=0, release_time=0)
+
+
+class TestNeededObject:
+    def test_unacquired_access_is_needed(self):
+        job = _job_accessing("T", ["R1"])
+        assert needed_object(job) == "R1"
+
+    def test_held_access_is_not_needed(self):
+        job = _job_accessing("T", ["R1"])
+        job.holds_lock = "R1"
+        assert needed_object(job) is None
+
+    def test_compute_segment_needs_nothing(self):
+        job = _job_accessing("T", [])
+        assert needed_object(job) is None
+
+
+class TestFigure3Scenario:
+    """The paper's example: T1 requests R1 held by T2; T2 waits for R2
+    held by T3; T3 depends on nobody.  Chains: <T3,T2,T1>, <T3,T2>,
+    <T3>."""
+
+    def _build(self):
+        locks = LockManager(allow_nesting=True)
+        t1 = _job_accessing("T1", ["R1"])
+        t2 = _job_accessing("T2", ["R1", "R2"])   # holds R1, wants R2
+        t3 = _job_accessing("T3", ["R2"])          # holds R2
+        assert locks.try_acquire(t2, "R1")
+        t2.holds_lock = "R1"
+        t2.segment_index = 1                        # now needs R2
+        assert locks.try_acquire(t3, "R2")
+        t3.holds_lock = "R2"
+        return locks, t1, t2, t3
+
+    def test_chains_match_paper(self):
+        locks, t1, t2, t3 = self._build()
+        assert dependency_chain(t1, locks) == [t3, t2, t1]
+        assert dependency_chain(t2, locks) == [t3, t2]
+        assert dependency_chain(t3, locks) == [t3]
+
+    def test_all_chains(self):
+        locks, t1, t2, t3 = self._build()
+        chains = all_dependency_chains([t1, t2, t3], locks)
+        assert chains[t1] == [t3, t2, t1]
+
+    def test_blocking_owner_walks_one_step(self):
+        locks, t1, t2, t3 = self._build()
+        assert blocking_owner(t1, locks) is t2
+        assert blocking_owner(t2, locks) is t3
+        assert blocking_owner(t3, locks) is None
+
+
+class TestDeadlock:
+    def test_cycle_raises(self):
+        locks = LockManager(allow_nesting=True)
+        a = _job_accessing("A", ["R1", "R2"])
+        b = _job_accessing("B", ["R2", "R1"])
+        locks.try_acquire(a, "R1"); a.holds_lock = "R1"; a.segment_index = 1
+        locks.try_acquire(b, "R2"); b.holds_lock = "R2"; b.segment_index = 1
+        with pytest.raises(DeadlockDetected) as exc:
+            dependency_chain(a, locks)
+        assert {j.task.name for j in exc.value.cycle} == {"A", "B"}
+
+    def test_self_wait_is_not_dependency(self):
+        # A job whose needed object it itself owns is not blocked.
+        locks = LockManager()
+        job = _job_accessing("A", ["R1"])
+        locks.try_acquire(job, "R1")
+        # Lock held but holds_lock not yet recorded on the job: the
+        # owner lookup must not create a self-loop.
+        assert blocking_owner(job, locks) is None
+
+
+class TestNoLocksView:
+    def test_chain_without_locks_is_singleton(self):
+        job = _job_accessing("T", ["R1"])
+        assert dependency_chain(job, None) == [job]

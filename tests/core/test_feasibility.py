@@ -1,0 +1,49 @@
+"""Tests for schedule feasibility (Section 3.4)."""
+
+from repro.arrivals import UAMSpec
+from repro.core.feasibility import completion_profile, is_feasible
+from repro.tasks import Compute, Job, TaskSpec
+from repro.tuf import StepTUF
+
+
+def _job(name, compute, critical, release=0):
+    task = TaskSpec(name=name, arrival=UAMSpec(1, 1, critical),
+                    tuf=StepTUF(critical_time=critical),
+                    body=(Compute(compute),))
+    return Job(task=task, jid=0, release_time=release)
+
+
+class TestIsFeasible:
+    def test_empty_schedule_is_feasible(self):
+        assert is_feasible([], {}, now=0)
+
+    def test_sequential_fit(self):
+        a = _job("A", 100, 500)
+        b = _job("B", 100, 500)
+        assert is_feasible([a, b], {}, now=0)
+
+    def test_overflow_is_infeasible(self):
+        a = _job("A", 300, 500)
+        b = _job("B", 300, 500)
+        assert not is_feasible([a, b], {}, now=0)
+
+    def test_effective_ct_overrides_own(self):
+        a = _job("A", 100, 1000)
+        # Inherited critical time 50 makes it infeasible.
+        assert not is_feasible([a], {a: 50}, now=0)
+
+    def test_now_offset(self):
+        a = _job("A", 100, 500)
+        assert is_feasible([a], {}, now=390)
+        assert not is_feasible([a], {}, now=401)
+
+    def test_exact_boundary_is_feasible(self):
+        a = _job("A", 500, 500)
+        assert is_feasible([a], {}, now=0)
+
+
+class TestCompletionProfile:
+    def test_profile_lists_cumulative_completions(self):
+        a = _job("A", 100, 1000)
+        b = _job("B", 50, 1000)
+        assert completion_profile([a, b], now=10) == [(a, 110), (b, 160)]

@@ -1,0 +1,72 @@
+"""Tests for Potential Utility Density computation (Section 3.2)."""
+
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.core.pud import chain_pud, completion_estimates
+from repro.tasks import Compute, Job, TaskSpec
+from repro.tuf import LinearDecreasingTUF, StepTUF
+
+
+def _job(name, compute, critical, release=0, height=1.0):
+    task = TaskSpec(name=name, arrival=UAMSpec(1, 1, critical),
+                    tuf=StepTUF(critical_time=critical, height=height),
+                    body=(Compute(compute),))
+    return Job(task=task, jid=0, release_time=release)
+
+
+class TestCompletionEstimates:
+    def test_cumulative_from_now(self):
+        chain = [_job("A", 100, 1000), _job("B", 200, 1000)]
+        assert completion_estimates(chain, now=50) == [150, 350]
+
+    def test_partial_progress_shortens_estimate(self):
+        job = _job("A", 100, 1000)
+        job.advance(40)
+        assert completion_estimates([job], now=0) == [60]
+
+
+class TestChainPUD:
+    def test_single_job_step_tuf(self):
+        job = _job("A", 100, 1000, height=5.0)
+        # Completes at 100, inside the critical time: PUD = 5 / 100.
+        assert chain_pud([job], now=0) == pytest.approx(0.05)
+
+    def test_misses_critical_time_yields_zero(self):
+        job = _job("A", 2000, 1000)
+        assert chain_pud([job], now=0) == 0.0
+
+    def test_chain_sums_utilities_and_times(self):
+        a = _job("A", 100, 1000, height=2.0)
+        b = _job("B", 100, 1000, height=3.0)
+        # Executing a then b: a completes at 100 (util 2), b at 200
+        # (util 3); PUD = 5 / 200.
+        assert chain_pud([a, b], now=0) == pytest.approx(5 / 200)
+
+    def test_dependent_past_its_critical_time_contributes_zero(self):
+        a = _job("A", 900, 1000, height=2.0)
+        b = _job("B", 200, 1000, height=3.0)
+        # a completes at 900 (util 2), b at 1100 > 1000 (util 0).
+        assert chain_pud([a, b], now=0) == pytest.approx(2 / 1100)
+
+    def test_instantaneous_chain_is_infinite(self):
+        job = _job("A", 100, 1000)
+        job.advance(100)
+        assert chain_pud([job], now=0) == float("inf")
+
+    def test_non_step_tuf_uses_shape(self):
+        task = TaskSpec(name="L", arrival=UAMSpec(1, 1, 1000),
+                        tuf=LinearDecreasingTUF(critical_time=1000),
+                        body=(Compute(500),))
+        job = Job(task=task, jid=0, release_time=0)
+        # Completes at 500: utility 0.5; PUD = 0.5/500.
+        assert chain_pud([job], now=0) == pytest.approx(0.001)
+
+    def test_release_offset_matters(self):
+        job = _job("A", 100, 1000, release=400)
+        # At now=450 the job completes at 550, sojourn 150 < 1000.
+        assert chain_pud([job], now=450) == pytest.approx(1 / 100)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            chain_pud([], now=0)

@@ -1,0 +1,127 @@
+"""Tests for tentative-schedule construction (Sections 3.4/3.4.1,
+Figures 4 and 5)."""
+
+from repro.arrivals import UAMSpec
+from repro.core.schedule_builder import build_rua_schedule, insert_chain
+from repro.tasks import Compute, Job, TaskSpec
+from repro.tuf import StepTUF
+
+
+def _job(name, critical, compute=10, release=0):
+    task = TaskSpec(name=name, arrival=UAMSpec(1, 1, critical),
+                    tuf=StepTUF(critical_time=critical),
+                    body=(Compute(compute),))
+    return Job(task=task, jid=0, release_time=release)
+
+
+class TestFigure4:
+    """Inserting T1 whose chain is <T2, T1>."""
+
+    def test_case1_consistent_orders(self):
+        # C2 < C1: ECF order already respects the dependency.
+        t1 = _job("T1", critical=1000)
+        t2 = _job("T2", critical=500)
+        schedule, ct = [], {}
+        insert_chain(schedule, ct, [t2, t1])
+        assert schedule == [t2, t1]
+        assert ct[t2] == 500 and ct[t1] == 1000
+
+    def test_case2_inconsistent_orders_inherit(self):
+        # C2 > C1: T2 must be placed before T1 with C2 updated to C1.
+        t1 = _job("T1", critical=500)
+        t2 = _job("T2", critical=1000)
+        schedule, ct = [], {}
+        insert_chain(schedule, ct, [t2, t1])
+        assert schedule == [t2, t1]
+        assert ct[t2] == 500   # inherited
+        assert ct[t1] == 500
+
+    def test_inherited_ct_affects_later_insertions(self):
+        t1 = _job("T1", critical=500)
+        t2 = _job("T2", critical=1000)
+        other = _job("X", critical=700)
+        schedule, ct = [], {}
+        insert_chain(schedule, ct, [t2, t1])
+        insert_chain(schedule, ct, [other])
+        # X's ct (700) sorts after the inherited 500s.
+        assert schedule == [t2, t1, other]
+
+
+class TestFigure5:
+    """Chains <T1>, <T1,T2>, <T1,T3> with PUD order T2, T1, T3.
+
+    After inserting T2 (with dependent T1), inserting T3 must ensure the
+    already-present T1 also precedes T3, moving it if C1 > C3.
+    """
+
+    def _jobs(self, c1, c2, c3):
+        return (_job("T1", critical=c1), _job("T2", critical=c2),
+                _job("T3", critical=c3))
+
+    def test_case1_t1_already_before_t3(self):
+        t1, t2, t3 = self._jobs(c1=300, c2=600, c3=900)
+        schedule, ct = [], {}
+        insert_chain(schedule, ct, [t1, t2])
+        assert schedule == [t1, t2]
+        insert_chain(schedule, ct, [t1, t3])
+        assert schedule == [t1, t2, t3]
+
+    def test_case2_t1_moved_before_t3(self):
+        # C1 > C3: T1 must move before T3 and inherit C3.
+        t1, t2, t3 = self._jobs(c1=800, c2=900, c3=400)
+        schedule, ct = [], {}
+        insert_chain(schedule, ct, [t1, t2])
+        assert schedule == [t1, t2]
+        insert_chain(schedule, ct, [t1, t3])
+        # Paper's outcome: <T1, T3, T2>.
+        assert schedule == [t1, t3, t2]
+        assert ct[t1] == 400   # inherited from T3
+
+    def test_duplicate_dependent_not_inserted_twice(self):
+        t1, t2, t3 = self._jobs(c1=300, c2=600, c3=900)
+        schedule, ct = [], {}
+        insert_chain(schedule, ct, [t1, t2])
+        insert_chain(schedule, ct, [t1, t3])
+        assert schedule.count(t1) == 1
+
+
+class TestBuildRuaSchedule:
+    def test_rejects_infeasible_low_pud_job(self):
+        # Two jobs that cannot both fit; the higher-PUD one wins.
+        rich = _job("rich", critical=100, compute=80)
+        poor = _job("poor", critical=100, compute=80)
+        chains = {rich: [rich], poor: [poor]}
+        schedule = build_rua_schedule([rich, poor], chains, now=0)
+        assert schedule == [rich]
+
+    def test_keeps_all_feasible_jobs(self):
+        a = _job("A", critical=1000, compute=100)
+        b = _job("B", critical=2000, compute=100)
+        chains = {a: [a], b: [b]}
+        schedule = build_rua_schedule([b, a], chains, now=0)
+        assert set(schedule) == {a, b}
+        assert schedule == [a, b]   # ECF order regardless of PUD order
+
+    def test_dependents_inserted_with_their_job(self):
+        dep = _job("dep", critical=900, compute=50)
+        main = _job("main", critical=500, compute=50)
+        chains = {main: [dep, main], dep: [dep]}
+        schedule = build_rua_schedule([main, dep], chains, now=0)
+        assert schedule.index(dep) < schedule.index(main)
+
+    def test_infeasible_chain_rejected_wholesale(self):
+        dep = _job("dep", critical=900, compute=600)
+        main = _job("main", critical=500, compute=50)
+        solo = _job("solo", critical=400, compute=100)
+        chains = {main: [dep, main], dep: [dep], solo: [solo]}
+        # dep+main need 650 > main's 500: chain rejected; solo fits.
+        schedule = build_rua_schedule([main, solo, dep], chains, now=0)
+        assert main not in schedule
+        assert solo in schedule
+
+    def test_already_scheduled_job_skipped_in_pud_order(self):
+        dep = _job("dep", critical=300, compute=10)
+        main = _job("main", critical=600, compute=10)
+        chains = {main: [dep, main], dep: [dep]}
+        schedule = build_rua_schedule([main, dep], chains, now=0)
+        assert schedule == [dep, main]

@@ -1,0 +1,51 @@
+"""Tests for the CML (Critical-time-Miss Load) bisection."""
+
+import random
+
+from repro.experiments.cml import measure_cml
+from repro.experiments.workloads import paper_taskset
+from repro.units import MS, US
+
+
+def _builder(avg_exec=300 * US, accesses=0):
+    def build(rng: random.Random, load: float):
+        return paper_taskset(rng, n_tasks=5, avg_exec=avg_exec,
+                             accesses_per_job=accesses,
+                             n_objects=5 if accesses else 0,
+                             target_load=load)
+    return build
+
+
+class TestMeasureCML:
+    def test_ideal_scheduler_reaches_high_cml(self):
+        cml = measure_cml(_builder(), "ideal", horizon=100 * MS,
+                          seeds=[1], iterations=5)
+        assert cml > 0.85
+
+    def test_lockbased_cml_not_above_ideal(self):
+        seeds = [1]
+        ideal = measure_cml(_builder(accesses=2), "ideal",
+                            horizon=60 * MS, seeds=seeds, iterations=4)
+        lockbased = measure_cml(_builder(accesses=2), "lockbased",
+                                horizon=60 * MS, seeds=seeds, iterations=4)
+        assert lockbased <= ideal + 0.05
+
+    def test_short_jobs_lower_cml_for_costly_scheduler(self):
+        # The scheduler-overhead effect of Figure 9: with 20us jobs the
+        # lock-based scheduler misses earlier than with 500us jobs.
+        seeds = [2]
+        short = measure_cml(_builder(avg_exec=20 * US, accesses=2),
+                            "lockbased", horizon=8 * MS, seeds=seeds,
+                            iterations=4)
+        long = measure_cml(_builder(avg_exec=500 * US, accesses=2),
+                           "lockbased", horizon=120 * MS, seeds=seeds,
+                           iterations=4)
+        assert short < long
+
+    def test_returns_low_when_everything_misses(self):
+        # 5us jobs under the costly lock-based scheduler: even tiny loads
+        # miss; the probe floor is returned.
+        cml = measure_cml(_builder(avg_exec=5 * US, accesses=2),
+                          "lockbased", horizon=4 * MS, seeds=[3],
+                          iterations=3, low=0.02)
+        assert cml <= 0.1

@@ -1,0 +1,71 @@
+"""Smoke tests: every figure function runs end-to-end (tiny settings)
+and produces renderable, sane output."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.units import MS
+
+
+pytestmark = pytest.mark.slow  # deselect with -m "not slow" for quick runs
+
+
+class TestFigureSmoke:
+    def test_fig8(self):
+        result = figures.fig8(repeats=2, horizon=40 * MS, objects=(1, 5))
+        text = result.render()
+        assert "Figure 8" in text
+        r = result.series[0]
+        s = result.series[1]
+        # Headline shape: r >> s at every point.
+        for r_est, s_est in zip(r.estimates, s.estimates):
+            assert r_est.mean > s_est.mean
+
+    def test_fig9(self):
+        result = figures.fig9(repeats=1, exec_times_us=(30, 300),
+                              windows_per_run=15, bisect_iterations=3)
+        by_label = {s.label: s for s in result.series}
+        lockbased = by_label["CML lockbased"]
+        ideal = by_label["CML ideal"]
+        # CML is non-decreasing in execution time for the costly
+        # scheduler and never exceeds ideal by more than noise.
+        assert lockbased.means()[0] <= lockbased.means()[-1] + 0.05
+        assert all(lb <= i + 0.1 for lb, i in
+                   zip(lockbased.means(), ideal.means()))
+
+    @pytest.mark.parametrize("fig,regime", [
+        (figures.fig10, "under"), (figures.fig11, "under"),
+        (figures.fig12, "over"), (figures.fig13, "over"),
+    ])
+    def test_fig10_to_13(self, fig, regime):
+        result = fig(repeats=2, horizon=40 * MS, objects=(2, 8))
+        by_label = {s.label: s for s in result.series}
+        lf_aur = by_label["AUR lock-free"].means()
+        lb_aur = by_label["AUR lock-based"].means()
+        if regime == "under":
+            assert all(v > 0.9 for v in lf_aur)
+        else:
+            # Overload: lock-free strictly dominates lock-based at the
+            # high-contention end.
+            assert lf_aur[-1] > lb_aur[-1]
+
+    def test_fig14(self):
+        result = figures.fig14(repeats=2, horizon=40 * MS, readers=(2, 6))
+        by_label = {s.label: s for s in result.series}
+        assert by_label["AUR lock-free"].means()[-1] >= \
+            by_label["AUR lock-based"].means()[-1] - 0.05
+
+    def test_thm2_validation(self):
+        result = figures.thm2_validation(repeats=2, horizon=100 * MS)
+        measured, bound = result.series
+        for m, b in zip(measured.estimates, bound.estimates):
+            assert m.mean <= b.mean
+
+    def test_lemma45_validation(self):
+        result = figures.lemma45_validation(repeats=2, horizon=100 * MS)
+        # Series come in (lower, measured, upper) triples.
+        for i in (0, 3):
+            lower = result.series[i].estimates[0].mean
+            measured = result.series[i + 1].estimates[0].mean
+            upper = result.series[i + 2].estimates[0].mean
+            assert lower - 0.02 <= measured <= upper + 0.02

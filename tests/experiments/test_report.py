@@ -1,0 +1,41 @@
+"""Tests for ASCII figure reporting."""
+
+import pytest
+
+from repro.experiments.report import format_scalar_rows, format_series_table
+from repro.experiments.stats import Series
+
+
+def _series(label, xs, means):
+    series = Series(label=label)
+    for x, mean in zip(xs, means):
+        series.add(x, [mean])
+    return series
+
+
+class TestSeriesTable:
+    def test_contains_all_labels_and_values(self):
+        a = _series("alpha", [1, 2], [0.5, 0.6])
+        b = _series("beta", [1, 2], [0.7, 0.8])
+        text = format_series_table("My Figure", "x", [a, b])
+        assert "My Figure" in text
+        assert "alpha" in text and "beta" in text
+        assert "0.5000" in text and "0.8000" in text
+
+    def test_mismatched_xs_rejected(self):
+        a = _series("alpha", [1, 2], [0.5, 0.6])
+        b = _series("beta", [1, 3], [0.7, 0.8])
+        with pytest.raises(ValueError, match="mismatched"):
+            format_series_table("t", "x", [a, b])
+
+    def test_empty_series_list(self):
+        text = format_series_table("t", "x", [])
+        assert "t" in text
+
+
+class TestScalarRows:
+    def test_alignment(self):
+        text = format_scalar_rows("Facts", [("key", "value"),
+                                            ("longer-key", "v2")])
+        assert "Facts" in text
+        assert "longer-key  v2" in text

@@ -1,0 +1,48 @@
+"""Tests for statistics helpers."""
+
+import pytest
+
+from repro.experiments.stats import Estimate, Series, estimate
+
+
+class TestEstimate:
+    def test_single_value_has_zero_ci(self):
+        est = estimate([5.0])
+        assert est.mean == 5.0
+        assert est.ci == 0.0
+        assert est.n == 1
+
+    def test_mean_of_sample(self):
+        est = estimate([1.0, 2.0, 3.0])
+        assert est.mean == pytest.approx(2.0)
+        assert est.n == 3
+
+    def test_ci_shrinks_with_sample_size(self):
+        narrow = estimate([1.0, 2.0] * 20)
+        wide = estimate([1.0, 2.0])
+        assert narrow.ci < wide.ci
+
+    def test_constant_sample_zero_ci(self):
+        assert estimate([4.2] * 5).ci == 0.0
+
+    def test_low_high(self):
+        est = Estimate(mean=10.0, ci=2.0, n=5)
+        assert est.low == 8.0
+        assert est.high == 12.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate([])
+
+    def test_str_formats(self):
+        assert "±" in str(estimate([1.0, 2.0]))
+
+
+class TestSeries:
+    def test_add_and_lookup(self):
+        series = Series(label="aur")
+        series.add(1, [0.5, 0.7])
+        series.add(2, [0.9])
+        assert series.xs == [1, 2]
+        assert series.means() == [pytest.approx(0.6), 0.9]
+        assert series.at(2).mean == 0.9

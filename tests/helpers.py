@@ -1,0 +1,76 @@
+"""Shared builders for scenario tests.
+
+All times in nanosecond ticks; helpers default to µs/ms magnitudes so
+scenarios read like the paper's workloads.
+"""
+
+from __future__ import annotations
+
+from repro.arrivals import UAMSpec
+from repro.core.edf import EDF
+from repro.core.rua_lockbased import LockBasedRUA
+from repro.core.rua_lockfree import LockFreeRUA
+from repro.sim.kernel import Kernel, SimulationConfig, SyncMode
+from repro.sim.objects import RetryPolicy
+from repro.sim.overheads import KernelCosts, ZeroCost
+from repro.tasks import Compute, ObjectAccess, TaskSpec
+from repro.tasks.segments import AccessKind
+from repro.tuf import StepTUF
+from repro.tuf.base import TimeUtilityFunction
+from repro.units import MS, US
+
+
+def simple_task(name: str, critical_us: int, compute_us: int,
+                window_us: int | None = None,
+                accesses: list[tuple[int, int]] | None = None,
+                tuf: TimeUtilityFunction | None = None,
+                kind: AccessKind = AccessKind.WRITE,
+                handler_us: int = 0) -> TaskSpec:
+    """A task with compute first, then the listed (object, duration_us)
+    accesses, then a tail compute tick."""
+    window = (window_us or critical_us) * US
+    body: list = [Compute(compute_us * US)]
+    for obj, dur_us in accesses or []:
+        body.append(ObjectAccess(obj=obj, duration=dur_us * US, kind=kind))
+    return TaskSpec(
+        name=name,
+        arrival=UAMSpec(1, 1, window),
+        tuf=tuf or StepTUF(critical_time=critical_us * US),
+        body=tuple(body),
+        abort_handler_time=handler_us * US,
+    )
+
+
+def run_scenario(tasks, traces_us, sync=SyncMode.NONE, policy=None,
+                 horizon_us=100_000, costs=None, trace=True,
+                 retry_policy=RetryPolicy.ON_CONFLICT,
+                 allow_nesting=False):
+    """Run a hand-built scenario with zero-cost scheduling by default, so
+    assertions about timing are exact."""
+    if policy is None:
+        policy = EDF(cost_model=ZeroCost())
+    config = SimulationConfig(
+        tasks=tasks,
+        arrival_traces=[[t * US for t in trace] for trace in traces_us],
+        policy=policy,
+        horizon=horizon_us * US,
+        sync=sync,
+        costs=costs or KernelCosts.ideal(),
+        retry_policy=retry_policy,
+        allow_nesting=allow_nesting,
+        trace=trace,
+    )
+    kernel = Kernel(config)
+    result = kernel.run()
+    return kernel, result
+
+
+def zero_cost_policy(kind: str):
+    """Policies with zero simulated pass cost (timing-exact tests)."""
+    if kind == "edf":
+        return EDF(cost_model=ZeroCost())
+    if kind == "rua-lockfree":
+        return LockFreeRUA(cost_model=ZeroCost())
+    if kind == "rua-lockbased":
+        return LockBasedRUA(cost_model=ZeroCost())
+    raise ValueError(kind)

@@ -1,0 +1,48 @@
+"""Tests for the top-level convenience API."""
+
+import pytest
+
+from repro import SimulationSummary, quick_simulation
+from repro.api import build_policy_and_mode, simulate
+from repro.sim.kernel import SyncMode
+
+
+class TestQuickSimulation:
+    def test_returns_summary(self):
+        summary = quick_simulation(n_tasks=3, n_objects=2, load=0.5,
+                                   horizon_us=100_000, seed=1)
+        assert isinstance(summary, SimulationSummary)
+        assert 0.0 <= summary.aur <= 1.0
+        assert 0.0 <= summary.cmr <= 1.0
+        assert summary.load == pytest.approx(0.5, rel=0.05)
+
+    def test_deterministic_in_seed(self):
+        a = quick_simulation(seed=3, horizon_us=100_000)
+        b = quick_simulation(seed=3, horizon_us=100_000)
+        assert a.aur == b.aur
+        assert len(a.result.records) == len(b.result.records)
+
+    def test_str_is_informative(self):
+        summary = quick_simulation(n_tasks=2, horizon_us=50_000)
+        text = str(summary)
+        assert "AUR" in text and "CMR" in text
+
+    def test_all_sync_styles(self):
+        for sync in ("lockfree", "lockbased", "ideal", "edf"):
+            summary = quick_simulation(sync=sync, n_tasks=3,
+                                       horizon_us=50_000)
+            assert summary.sync == sync
+
+
+class TestBuildPolicyAndMode:
+    def test_mappings(self):
+        policy, mode, costs = build_policy_and_mode("lockbased")
+        assert policy.name == "rua-lockbased"
+        assert mode is SyncMode.LOCK_BASED
+        policy, mode, costs = build_policy_and_mode("ideal")
+        assert mode is SyncMode.NONE
+        assert costs.context_switch == 0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            build_policy_and_mode("optimistic")

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestQuick:
+    def test_default_runs_all_styles(self, capsys):
+        assert main(["quick", "--horizon-ms", "100", "--tasks", "3",
+                     "--objects", "2"]) == 0
+        out = capsys.readouterr().out
+        for style in ("ideal", "edf", "lockfree", "lockbased"):
+            assert style in out
+
+    def test_sync_filter(self, capsys):
+        assert main(["quick", "--horizon-ms", "50", "--tasks", "2",
+                     "--objects", "1", "--sync", "lockfree"]) == 0
+        out = capsys.readouterr().out
+        assert "lockfree" in out
+        assert "lockbased" not in out
+
+    def test_hetero_class(self, capsys):
+        assert main(["quick", "--horizon-ms", "50", "--tasks", "2",
+                     "--objects", "1", "--tuf-class", "hetero",
+                     "--sync", "ideal"]) == 0
+
+
+class TestFigure:
+    def test_fig10_small(self, capsys):
+        assert main(["figure", "fig10", "--repeats", "1",
+                     "--horizon-ms", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "AUR lock-free" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestRetryBound:
+    def test_bound_holds(self, capsys):
+        assert main(["retrybound", "--repeats", "1",
+                     "--horizon-ms", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "bound holds" in out
+
+
+class TestSojourn:
+    def test_lockfree_wins_with_small_s(self, capsys):
+        assert main(["sojourn", "--r", "30", "--s", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "lock-free" in out
+        assert "s/r = 0.0667" in out
+
+    def test_lockbased_wins_with_large_s(self, capsys):
+        assert main(["sojourn", "--r", "10", "--s", "9.9"]) == 0
+        out = capsys.readouterr().out
+        assert "shorter worst-case sojourn: lock-based" in out
+
+
+def test_no_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

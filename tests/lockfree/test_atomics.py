@@ -1,0 +1,71 @@
+"""Tests for atomic cells."""
+
+from repro.lockfree.atomics import AtomicRef
+from repro.lockfree.ms_queue import run_op
+
+
+class TestLoadStore:
+    def test_load_returns_value(self):
+        ref = AtomicRef(42)
+        assert run_op(ref.load()) == 42
+
+    def test_store_replaces_value(self):
+        ref = AtomicRef(1)
+        run_op(ref.store(2))
+        assert ref.peek() == 2
+
+    def test_counters(self):
+        ref = AtomicRef(0)
+        run_op(ref.load())
+        run_op(ref.store(1))
+        assert ref.loads == 1
+        assert ref.stores == 1
+
+
+class TestCAS:
+    def test_successful_cas(self):
+        sentinel = object()
+        ref = AtomicRef(sentinel)
+        assert run_op(ref.cas(sentinel, "new")) is True
+        assert ref.peek() == "new"
+        assert ref.cas_attempts == 1
+        assert ref.cas_failures == 0
+
+    def test_failed_cas_leaves_value(self):
+        ref = AtomicRef("current")
+        assert run_op(ref.cas("stale", "new")) is False
+        assert ref.peek() == "current"
+        assert ref.cas_failures == 1
+
+    def test_cas_uses_identity_not_equality(self):
+        # Two equal-but-distinct objects must not satisfy the CAS —
+        # pointer semantics, as on hardware.
+        a = [1]
+        b = [1]
+        ref = AtomicRef(a)
+        assert a == b
+        assert run_op(ref.cas(b, "new")) is False
+
+    def test_ops_yield_exactly_once(self):
+        ref = AtomicRef(0)
+        op = ref.load()
+        label = next(op)
+        assert label[0] == "load"
+        try:
+            next(op)
+            raise AssertionError("expected StopIteration")
+        except StopIteration as stop:
+            assert stop.value == 0
+
+    def test_effect_happens_after_the_yield(self):
+        # The preemption point precedes the effect: a store interleaved
+        # at the yield of a CAS makes the CAS fail.
+        ref = AtomicRef("old")
+        cas = ref.cas("old", "mine")
+        next(cas)                    # CAS now parked at its yield
+        run_op(ref.store("theirs"))  # interloper wins the race
+        try:
+            next(cas)
+        except StopIteration as stop:
+            assert stop.value is False
+        assert ref.peek() == "theirs"

@@ -1,0 +1,136 @@
+"""Tests for the linearizability checker — and linearizability of the
+shipped structures under adversarial interleavings."""
+
+import pytest
+
+from repro.lockfree.interleave import VM, adversarial_scheduler, random_scheduler
+from repro.lockfree.linearizability import (
+    Operation,
+    SeqQueue,
+    SeqStack,
+    is_linearizable,
+    recorded,
+)
+from repro.lockfree.ms_queue import EMPTY, MSQueue
+from repro.lockfree.treiber_stack import STACK_EMPTY, TreiberStack
+
+
+def _op(name, arg, result, invoked, responded):
+    return Operation(op=name, arg=arg, result=result, invoked=invoked,
+                     responded=responded)
+
+
+class TestCheckerOnHandHistories:
+    def test_empty_history(self):
+        assert is_linearizable([], SeqQueue)
+
+    def test_sequential_legal_history(self):
+        history = [
+            _op("enqueue", 1, None, 0, 1),
+            _op("dequeue", None, 1, 2, 3),
+        ]
+        assert is_linearizable(history, SeqQueue)
+
+    def test_sequential_illegal_history(self):
+        # Dequeue returns a value never enqueued before it (real-time
+        # order forbids reordering).
+        history = [
+            _op("dequeue", None, 1, 0, 1),
+            _op("enqueue", 1, None, 2, 3),
+        ]
+        assert not is_linearizable(history, SeqQueue)
+
+    def test_concurrent_reordering_allowed(self):
+        # Overlapping enqueue/dequeue may linearize enqueue first.
+        history = [
+            _op("dequeue", None, 1, 0, 5),
+            _op("enqueue", 1, None, 1, 2),
+        ]
+        assert is_linearizable(history, SeqQueue)
+
+    def test_fifo_violation_rejected(self):
+        history = [
+            _op("enqueue", 1, None, 0, 1),
+            _op("enqueue", 2, None, 2, 3),
+            _op("dequeue", None, 2, 4, 5),
+            _op("dequeue", None, 1, 6, 7),
+        ]
+        assert not is_linearizable(history, SeqQueue)
+
+    def test_lifo_history_on_stack_spec(self):
+        history = [
+            _op("push", 1, None, 0, 1),
+            _op("push", 2, None, 2, 3),
+            _op("pop", None, 2, 4, 5),
+            _op("pop", None, 1, 6, 7),
+        ]
+        assert is_linearizable(history, SeqStack)
+
+    def test_empty_result_requires_empty_state(self):
+        history = [
+            _op("enqueue", 1, None, 0, 1),
+            _op("dequeue", None, EMPTY, 2, 3),
+        ]
+        assert not is_linearizable(history, SeqQueue)
+
+    def test_stack_empty_sentinel(self):
+        history = [_op("pop", None, STACK_EMPTY, 0, 1)]
+        assert is_linearizable(history, SeqStack)
+
+    def test_response_before_invocation_rejected(self):
+        with pytest.raises(ValueError):
+            _op("enqueue", 1, None, 5, 3)
+
+
+class TestStructuresAreLinearizable:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_ms_queue_random_interleavings(self, seed):
+        q = MSQueue()
+        vm = VM(scheduler=random_scheduler, seed=seed)
+        history = []
+
+        def producer(pid):
+            for v in range(2):
+                yield from recorded(vm, history, "enqueue", (pid, v),
+                                    q.enqueue((pid, v)))
+
+        def consumer():
+            for _ in range(3):
+                yield from recorded(vm, history, "dequeue", None,
+                                    q.dequeue())
+
+        vm.spawn("p0", producer(0))
+        vm.spawn("p1", producer(1))
+        vm.spawn("c", consumer())
+        vm.run()
+        assert is_linearizable(history, SeqQueue)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_ms_queue_adversarial_interleavings(self, seed):
+        q = MSQueue()
+        vm = VM(scheduler=adversarial_scheduler(burst=2), seed=seed)
+        history = []
+
+        def worker(pid):
+            yield from recorded(vm, history, "enqueue", pid, q.enqueue(pid))
+            yield from recorded(vm, history, "dequeue", None, q.dequeue())
+
+        for pid in range(3):
+            vm.spawn(f"w{pid}", worker(pid))
+        vm.run()
+        assert is_linearizable(history, SeqQueue)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_treiber_stack_random_interleavings(self, seed):
+        s = TreiberStack()
+        vm = VM(scheduler=random_scheduler, seed=seed)
+        history = []
+
+        def worker(pid):
+            yield from recorded(vm, history, "push", pid, s.push(pid))
+            yield from recorded(vm, history, "pop", None, s.pop())
+
+        for pid in range(3):
+            vm.spawn(f"w{pid}", worker(pid))
+        vm.run()
+        assert is_linearizable(history, SeqStack)

@@ -1,0 +1,124 @@
+"""Tests for the Michael & Scott lock-free queue."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lockfree.interleave import (
+    VM,
+    adversarial_scheduler,
+    random_scheduler,
+)
+from repro.lockfree.ms_queue import EMPTY, MSQueue, run_op
+
+
+class TestSequentialSemantics:
+    def test_fifo_order(self):
+        q = MSQueue()
+        for v in (1, 2, 3):
+            run_op(q.enqueue(v))
+        assert q.drain_sequential() == [1, 2, 3]
+
+    def test_empty_dequeue(self):
+        q = MSQueue()
+        assert run_op(q.dequeue()) is EMPTY
+
+    def test_interleaved_enqueue_dequeue(self):
+        q = MSQueue()
+        run_op(q.enqueue("a"))
+        assert run_op(q.dequeue()) == "a"
+        run_op(q.enqueue("b"))
+        run_op(q.enqueue("c"))
+        assert run_op(q.dequeue()) == "b"
+        assert run_op(q.dequeue()) == "c"
+        assert run_op(q.dequeue()) is EMPTY
+
+    def test_no_retries_without_concurrency(self):
+        q = MSQueue()
+        for v in range(10):
+            run_op(q.enqueue(v))
+        q.drain_sequential()
+        assert q.total_retries == 0
+
+
+class TestConcurrentExecution:
+    def _producers_consumers(self, seed, n_producers=3, per_producer=5,
+                             scheduler=None):
+        q = MSQueue()
+        vm = VM(scheduler=scheduler or random_scheduler, seed=seed)
+
+        def producer(pid):
+            for v in range(per_producer):
+                yield from q.enqueue((pid, v))
+
+        consumed = []
+
+        def consumer():
+            remaining = n_producers * per_producer
+            while remaining:
+                value = yield from q.dequeue()
+                if value is not EMPTY:
+                    consumed.append(value)
+                    remaining -= 1
+
+        for pid in range(n_producers):
+            vm.spawn(f"p{pid}", producer(pid))
+        vm.spawn("c", consumer())
+        vm.run()
+        return q, consumed
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_no_loss_no_duplication(self, seed):
+        q, consumed = self._producers_consumers(seed)
+        assert sorted(consumed) == sorted(
+            (pid, v) for pid in range(3) for v in range(5))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_per_producer_fifo_preserved(self, seed):
+        _, consumed = self._producers_consumers(seed)
+        for pid in range(3):
+            values = [v for p, v in consumed if p == pid]
+            assert values == sorted(values)
+
+    def test_adversarial_interleaving_causes_retries(self):
+        total = 0
+        for seed in range(10):
+            q, _ = self._producers_consumers(
+                seed, scheduler=adversarial_scheduler(burst=2))
+            total += q.total_retries
+        assert total > 0
+
+    def test_lock_freedom_some_operation_completes(self):
+        # With N fibers and any scheduler, the VM always terminates well
+        # under the step budget — no livelock (the lock-free progress
+        # guarantee of Section 1.1).
+        q, consumed = self._producers_consumers(0, n_producers=5,
+                                                per_producer=10)
+        assert len(consumed) == 50
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       ops=st.lists(st.integers(0, 9), min_size=1, max_size=12))
+def test_property_concurrent_matches_multiset(seed, ops):
+    """Whatever the interleaving, the dequeued multiset equals the
+    enqueued multiset (minus what remains in the queue)."""
+    q = MSQueue()
+    vm = VM(scheduler=random_scheduler, seed=seed)
+
+    def producer():
+        for v in ops:
+            yield from q.enqueue(v)
+
+    popped = []
+
+    def consumer():
+        for _ in ops:
+            value = yield from q.dequeue()
+            if value is not EMPTY:
+                popped.append(value)
+
+    vm.spawn("p", producer())
+    vm.spawn("c", consumer())
+    vm.run()
+    leftover = q.drain_sequential()
+    assert sorted(popped + leftover) == sorted(ops)

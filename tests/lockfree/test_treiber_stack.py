@@ -1,0 +1,91 @@
+"""Tests for the Treiber lock-free stack."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lockfree.interleave import VM, adversarial_scheduler, random_scheduler
+from repro.lockfree.ms_queue import run_op
+from repro.lockfree.treiber_stack import STACK_EMPTY, TreiberStack
+
+
+class TestSequentialSemantics:
+    def test_lifo_order(self):
+        s = TreiberStack()
+        for v in (1, 2, 3):
+            run_op(s.push(v))
+        assert s.drain_sequential() == [3, 2, 1]
+
+    def test_empty_pop(self):
+        assert run_op(TreiberStack().pop()) is STACK_EMPTY
+
+    def test_no_retries_without_concurrency(self):
+        s = TreiberStack()
+        for v in range(10):
+            run_op(s.push(v))
+        s.drain_sequential()
+        assert s.total_retries == 0
+
+
+class TestConcurrentExecution:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_no_loss_no_duplication(self, seed):
+        s = TreiberStack()
+        vm = VM(scheduler=random_scheduler, seed=seed)
+
+        def pusher(pid):
+            for v in range(5):
+                yield from s.push((pid, v))
+
+        popped = []
+
+        def popper():
+            remaining = 10
+            while remaining:
+                value = yield from s.pop()
+                if value is not STACK_EMPTY:
+                    popped.append(value)
+                    remaining -= 1
+
+        vm.spawn("p0", pusher(0))
+        vm.spawn("p1", pusher(1))
+        vm.spawn("c", popper())
+        vm.run()
+        assert sorted(popped) == sorted(
+            (pid, v) for pid in range(2) for v in range(5))
+
+    def test_contention_produces_cas_failures(self):
+        total = 0
+        for seed in range(10):
+            s = TreiberStack()
+            vm = VM(scheduler=adversarial_scheduler(burst=1), seed=seed)
+            for pid in range(4):
+                vm.spawn(f"p{pid}", s.push(pid))
+            vm.run()
+            total += s.push_retries
+        assert total > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       values=st.lists(st.integers(), min_size=1, max_size=10))
+def test_property_pop_returns_pushed_values(seed, values):
+    s = TreiberStack()
+    vm = VM(scheduler=random_scheduler, seed=seed)
+
+    def pusher():
+        for v in values:
+            yield from s.push(v)
+
+    popped = []
+
+    def popper():
+        for _ in values:
+            value = yield from s.pop()
+            if value is not STACK_EMPTY:
+                popped.append(value)
+
+    vm.spawn("p", pusher())
+    vm.spawn("c", popper())
+    vm.run()
+    leftover = s.drain_sequential()
+    assert sorted(popped + leftover) == sorted(values)

@@ -1,0 +1,134 @@
+"""Tests for the Chen/Burns-style wait-free SWMR register — and the
+paper's lock-free-vs-wait-free tradeoff."""
+
+import pytest
+
+from repro.lockfree.interleave import VM, adversarial_scheduler, random_scheduler
+from repro.lockfree.ms_queue import run_op
+from repro.lockfree.nbw import NBWRegister
+from repro.lockfree.waitfree_register import FREE, WaitFreeRegister
+
+
+class TestSequential:
+    def test_write_then_read(self):
+        reg = WaitFreeRegister(n_readers=2)
+        run_op(reg.write("hello"))
+        assert run_op(reg.read(0)) == "hello"
+        assert run_op(reg.read(1)) == "hello"
+
+    def test_buffer_count_is_readers_plus_two(self):
+        assert WaitFreeRegister(n_readers=3).n_buffers == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaitFreeRegister(n_readers=0)
+        reg = WaitFreeRegister(n_readers=1)
+        with pytest.raises(ValueError):
+            run_op(reg.read(5))
+
+    def test_reader_releases_its_own_slot(self):
+        # The writer's help legitimately leaves claims in *idle* readers'
+        # slots (reset at their next read start); but a reader that
+        # finished must have released its own slot.
+        reg = WaitFreeRegister(n_readers=2)
+        run_op(reg.write("x"))
+        run_op(reg.read(0))
+        assert reg._slots[0].peek() == FREE
+        assert reg._slots[1].peek() != FREE  # helped claim, still parked
+
+
+class TestConcurrent:
+    def _campaign(self, seed, scheduler=None, n_writes=25, n_readers=3):
+        reg = WaitFreeRegister(n_readers=n_readers)
+        vm = VM(scheduler=scheduler or random_scheduler, seed=seed)
+        committed = []
+
+        def writer():
+            for version in range(n_writes):
+                committed.append(version)
+                yield from reg.write(version)
+
+        observed = {i: [] for i in range(n_readers)}
+
+        def reader(rid):
+            for _ in range(n_writes // 2):
+                value = yield from reg.read(rid)
+                if value is not None:
+                    observed[rid].append(value)
+
+        vm.spawn("w", writer())
+        for rid in range(n_readers):
+            vm.spawn(f"r{rid}", reader(rid))
+        vm.run()
+        return reg, observed
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_reads_return_committed_values(self, seed):
+        _, observed = self._campaign(seed)
+        for values in observed.values():
+            assert all(0 <= v < 25 for v in values)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_no_reader_ever_loops(self, seed):
+        """Wait-freedom: every read is a fixed number of atomic steps —
+        the whole campaign completes without the VM's step budget ever
+        being stressed, and no retry counter exists to grow."""
+        reg, observed = self._campaign(
+            seed, scheduler=adversarial_scheduler(burst=1))
+        assert reg.writes == 25
+        assert all(len(v) <= 12 for v in observed.values())
+
+    def test_helping_actually_happens(self):
+        helped = 0
+        for seed in range(20):
+            reg, _ = self._campaign(
+                seed, scheduler=adversarial_scheduler(burst=2))
+            helped += reg.helped_reads
+        assert helped > 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_versions_monotone_per_reader(self, seed):
+        _, observed = self._campaign(seed)
+        for values in observed.values():
+            assert values == sorted(values)
+
+
+class TestPaperTradeoff:
+    """Section 1.1: wait-free trades space (and a-priori reader count)
+    for zero retries; lock-free (NBW readers) trades retries for a
+    single buffer."""
+
+    def test_space_cost(self):
+        nbw = NBWRegister(width=1)
+        wait_free = WaitFreeRegister(n_readers=8)
+        assert len(nbw._cells) == 1
+        assert wait_free.n_buffers == 10
+
+    def test_retry_vs_no_retry_under_identical_adversary(self):
+        # Same adversary, same op counts: NBW readers retry, the
+        # wait-free register's readers never do (there is no retry path).
+        nbw_retries = 0
+        for seed in range(10):
+            reg = NBWRegister(width=2)
+            vm = VM(scheduler=adversarial_scheduler(burst=2), seed=seed)
+
+            def writer():
+                for version in range(15):
+                    yield from reg.write((version, version))
+
+            def reader():
+                for _ in range(10):
+                    yield from reg.read()
+
+            vm.spawn("w", writer())
+            vm.spawn("r", reader())
+            vm.run()
+            nbw_retries += reg.read_retries
+        assert nbw_retries > 0
+
+    def test_wait_free_requires_reader_count_up_front(self):
+        # The paper's criticism: the identities/count of all jobs must be
+        # known a priori.  Reading with an unregistered id fails.
+        reg = WaitFreeRegister(n_readers=2)
+        with pytest.raises(ValueError):
+            run_op(reg.read(2))

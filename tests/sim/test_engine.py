@@ -1,0 +1,63 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.sim.engine import EventQueue, QueueEmpty
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(30, 0, "c")
+        q.push(10, 0, "a")
+        q.push(20, 0, "b")
+        assert [q.pop() for _ in range(3)] == [(10, "a"), (20, "b"),
+                                               (30, "c")]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(10, 2, "milestone")
+        q.push(10, 0, "timer")
+        q.push(10, 1, "arrival")
+        assert [payload for _, payload in (q.pop(), q.pop(), q.pop())] == [
+            "timer", "arrival", "milestone"
+        ]
+
+    def test_insertion_order_breaks_full_ties(self):
+        q = EventQueue()
+        q.push(10, 1, "first")
+        q.push(10, 1, "second")
+        assert q.pop()[1] == "first"
+        assert q.pop()[1] == "second"
+
+
+class TestBasics:
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1, 0, "x")
+        assert q
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(QueueEmpty):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(7, 0, "x")
+        assert q.peek_time() == 7
+        q.pop()
+        assert q.peek_time() is None
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1, 0, "x")
+
+    def test_drain_empties_in_order(self):
+        q = EventQueue()
+        for t in (5, 1, 3):
+            q.push(t, 0, t)
+        assert [t for t, _ in q.drain()] == [1, 3, 5]
+        assert not q

@@ -1,0 +1,74 @@
+"""Property-based kernel invariants over random workloads.
+
+Whatever the workload, sync mode and seed:
+
+1. accounting sanity: AUR, CMR in [0, 1]; records = releases - unfinished;
+2. completed jobs finish no earlier than release + nominal demand, and
+   strictly before their critical times;
+3. aborted jobs accrue zero utility;
+4. retries appear only under lock-free, blockings only under lock-based;
+5. determinism: identical seeds give identical outcomes.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.runner import run_once
+from repro.experiments.workloads import paper_taskset
+from repro.units import MS
+
+syncs = st.sampled_from(["ideal", "lockfree", "lockbased", "edf"])
+
+
+def _run(seed: int, sync: str, load: float, accesses: int):
+    rng = random.Random(seed)
+    tasks = paper_taskset(rng, n_tasks=5, n_objects=5,
+                          accesses_per_job=accesses, target_load=load)
+    result = run_once(tasks, sync, horizon=40 * MS,
+                      rng=random.Random(seed + 1))
+    return tasks, result
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), sync=syncs,
+       load=st.sampled_from([0.3, 0.8, 1.3]),
+       accesses=st.integers(0, 4))
+def test_accounting_and_timing_invariants(seed, sync, load, accesses):
+    tasks, result = _run(seed, sync, load, accesses)
+    by_name = {t.name: t for t in tasks}
+
+    assert 0.0 <= result.aur <= 1.0
+    assert 0.0 <= result.cmr <= 1.0
+
+    for record in result.records:
+        task = by_name[record.task_name]
+        if record.aborted:
+            assert record.accrued_utility == 0.0
+            assert record.completion_time is None
+        else:
+            assert record.completion_time is not None
+            # Cannot finish faster than its nominal demand...
+            assert record.sojourn >= task.execution_estimate
+            # ...and never completes at/after the critical time (the
+            # abort timer fires first).
+            assert record.sojourn < task.critical_time
+            assert record.accrued_utility <= task.tuf.max_utility
+        if sync != "lockfree":
+            assert record.retries == 0
+        if sync != "lockbased":
+            assert record.blockings == 0
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 1_000), sync=syncs)
+def test_determinism(seed, sync):
+    _, first = _run(seed, sync, 0.9, 2)
+    _, second = _run(seed, sync, 0.9, 2)
+    snapshot = lambda r: [
+        (rec.task_name, rec.jid, rec.completion_time, rec.retries,
+         rec.blockings, rec.accrued_utility)
+        for rec in r.records
+    ]
+    assert snapshot(first) == snapshot(second)
+    assert first.scheduler_overhead_time == second.scheduler_overhead_time

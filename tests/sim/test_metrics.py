@@ -1,0 +1,119 @@
+"""Tests for per-run metrics."""
+
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.sim.metrics import JobRecord, SimulationResult, record_of
+from repro.tasks import Compute, Job, JobState, TaskSpec
+from repro.tuf import LinearDecreasingTUF, StepTUF
+
+
+def _record(utility=1.0, max_utility=1.0, aborted=False, completion=500,
+            task="T", retries=0, blockings=0):
+    return JobRecord(
+        task_name=task, jid=0, release_time=0,
+        completion_time=None if aborted else completion,
+        accrued_utility=0.0 if aborted else utility,
+        max_utility=max_utility, retries=retries, blockings=blockings,
+        preemptions=0, aborted=aborted,
+    )
+
+
+class TestJobRecord:
+    def test_sojourn(self):
+        assert _record(completion=500).sojourn == 500
+        assert _record(aborted=True).sojourn is None
+
+    def test_met_critical_time(self):
+        assert _record().met_critical_time
+        assert not _record(aborted=True).met_critical_time
+
+
+class TestRecordOf:
+    def _job(self):
+        task = TaskSpec(name="T", arrival=UAMSpec(1, 1, 1000),
+                        tuf=LinearDecreasingTUF(critical_time=1000),
+                        body=(Compute(10),))
+        return Job(task=task, jid=3, release_time=100)
+
+    def test_snapshot_of_completed_job(self):
+        job = self._job()
+        job.state = JobState.COMPLETED
+        job.completion_time = 600
+        job.accrued_utility = 0.5
+        record = record_of(job)
+        assert record.task_name == "T"
+        assert record.jid == 3
+        assert record.sojourn == 500
+        assert not record.aborted
+
+    def test_snapshot_of_aborted_job(self):
+        job = self._job()
+        job.state = JobState.ABORTED
+        record = record_of(job)
+        assert record.aborted
+        assert record.accrued_utility == 0.0
+
+    def test_live_job_rejected(self):
+        with pytest.raises(ValueError, match="live"):
+            record_of(self._job())
+
+
+class TestSimulationResult:
+    def test_aur_is_utility_ratio(self):
+        result = SimulationResult(records=[
+            _record(utility=1.0), _record(utility=0.5),
+            _record(aborted=True),
+        ])
+        assert result.aur == pytest.approx(1.5 / 3.0)
+
+    def test_cmr_counts_meets(self):
+        result = SimulationResult(records=[
+            _record(), _record(), _record(aborted=True), _record(),
+        ])
+        assert result.cmr == pytest.approx(3 / 4)
+
+    def test_empty_result_ratios_are_zero(self):
+        result = SimulationResult()
+        assert result.aur == 0.0
+        assert result.cmr == 0.0
+
+    def test_totals(self):
+        result = SimulationResult(records=[
+            _record(retries=2, blockings=1),
+            _record(retries=3, blockings=0, aborted=True),
+        ])
+        assert result.total_retries == 5
+        assert result.total_blockings == 1
+        assert result.abort_count == 1
+        assert result.releases == 2
+
+    def test_sojourn_views(self):
+        result = SimulationResult(records=[
+            _record(completion=100, task="A"),
+            _record(completion=300, task="A"),
+            _record(completion=200, task="B"),
+            _record(aborted=True, task="A"),
+        ])
+        assert result.mean_sojourn("A") == pytest.approx(200)
+        assert result.max_sojourn("A") == 300
+        assert result.mean_sojourn("Z") is None
+        assert sorted(result.sojourns()) == [100, 200, 300]
+
+    def test_per_task_split(self):
+        result = SimulationResult(records=[
+            _record(task="A"), _record(task="B"), _record(task="A"),
+        ])
+        split = result.per_task()
+        assert len(split["A"].records) == 2
+        assert len(split["B"].records) == 1
+
+    def test_mechanism_means(self):
+        result = SimulationResult()
+        assert result.mean_lock_mechanism_per_access is None
+        result.lock_mechanism_time = 100
+        result.lock_access_commits = 4
+        assert result.mean_lock_mechanism_per_access == 25.0
+        result.lockfree_mechanism_time = 30
+        result.lockfree_access_commits = 3
+        assert result.mean_lockfree_mechanism_per_access == 10.0

@@ -1,0 +1,127 @@
+"""Tests for the lock-free object layer's retry semantics."""
+
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.sim.objects import LockFreeObjectTable, RetryPolicy
+from repro.tasks import Compute, Job, ObjectAccess, TaskSpec
+from repro.tasks.segments import AccessKind
+from repro.tuf import StepTUF
+
+
+def _job_with_access(name, kind=AccessKind.WRITE, obj=0):
+    task = TaskSpec(
+        name=name, arrival=UAMSpec(1, 1, 1000),
+        tuf=StepTUF(critical_time=1000),
+        body=(ObjectAccess(obj=obj, duration=10, kind=kind), Compute(1)),
+    )
+    return Job(task=task, jid=0, release_time=0)
+
+
+def _access_of(job) -> ObjectAccess:
+    return job.task.body[0]
+
+
+class TestCommitProtocol:
+    def test_begin_then_commit(self):
+        table = LockFreeObjectTable()
+        job = _job_with_access("A")
+        table.begin(job, _access_of(job))
+        assert table.open_access_of(job) == 0
+        table.commit(job)
+        assert table.open_access_of(job) is None
+        assert table.commits_on(0) == 1
+
+    def test_commit_without_begin_raises(self):
+        table = LockFreeObjectTable()
+        with pytest.raises(RuntimeError, match="without open access"):
+            table.commit(_job_with_access("A"))
+
+    def test_abandon_discards_open_access(self):
+        table = LockFreeObjectTable()
+        job = _job_with_access("A")
+        table.begin(job, _access_of(job))
+        table.abandon(job)
+        assert table.open_access_of(job) is None
+        assert table.commits_on(0) == 0
+
+
+class TestConflictPolicy:
+    def test_no_retry_without_conflict(self):
+        table = LockFreeObjectTable()
+        job = _job_with_access("A")
+        table.begin(job, _access_of(job))
+        assert not table.must_retry(job)
+
+    def test_writer_invalidated_by_concurrent_write(self):
+        table = LockFreeObjectTable()
+        victim = _job_with_access("A")
+        other = _job_with_access("B")
+        table.begin(victim, _access_of(victim))
+        table.begin(other, _access_of(other))
+        table.commit(other)
+        assert table.must_retry(victim)
+
+    def test_reader_not_invalidated_by_concurrent_read(self):
+        table = LockFreeObjectTable()
+        victim = _job_with_access("A", kind=AccessKind.READ)
+        other = _job_with_access("B", kind=AccessKind.READ)
+        table.begin(victim, _access_of(victim))
+        table.begin(other, _access_of(other))
+        table.commit(other)
+        assert not table.must_retry(victim)
+
+    def test_reader_invalidated_by_concurrent_write(self):
+        table = LockFreeObjectTable()
+        victim = _job_with_access("A", kind=AccessKind.READ)
+        other = _job_with_access("B", kind=AccessKind.WRITE)
+        table.begin(victim, _access_of(victim))
+        table.begin(other, _access_of(other))
+        table.commit(other)
+        assert table.must_retry(victim)
+
+    def test_different_object_does_not_conflict(self):
+        table = LockFreeObjectTable()
+        victim = _job_with_access("A", obj=0)
+        other = _job_with_access("B", obj=1)
+        table.begin(victim, _access_of(victim))
+        table.begin(other, _access_of(other))
+        table.commit(other)
+        assert not table.must_retry(victim)
+
+    def test_record_retry_resnapshots(self):
+        table = LockFreeObjectTable()
+        victim = _job_with_access("A")
+        other = _job_with_access("B")
+        table.begin(victim, _access_of(victim))
+        table.begin(other, _access_of(other))
+        table.commit(other)
+        assert table.must_retry(victim)
+        victim.access_dirty = False
+        table.record_retry(victim)
+        assert table.total_retries == 1
+        assert not table.must_retry(victim)
+
+
+class TestPreemptionPolicy:
+    def test_on_preemption_marks_dirty(self):
+        table = LockFreeObjectTable(policy=RetryPolicy.ON_PREEMPTION)
+        job = _job_with_access("A")
+        table.begin(job, _access_of(job))
+        table.note_preemption(job)
+        assert job.access_dirty
+        assert table.must_retry(job)
+
+    def test_on_conflict_ignores_preemption_alone(self):
+        table = LockFreeObjectTable(policy=RetryPolicy.ON_CONFLICT)
+        job = _job_with_access("A")
+        table.begin(job, _access_of(job))
+        table.note_preemption(job)
+        assert not job.access_dirty
+        assert not table.must_retry(job)
+
+    def test_preemption_without_open_access_is_noop(self):
+        table = LockFreeObjectTable(policy=RetryPolicy.ON_PREEMPTION)
+        job = _job_with_access("A")
+        table.note_preemption(job)
+        assert not job.access_dirty

@@ -1,0 +1,66 @@
+"""Tests for the overhead cost models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.overheads import (
+    ConstantCost,
+    KernelCosts,
+    LinearithmicCost,
+    QuadraticCost,
+    QuadraticLogCost,
+    ZeroCost,
+    default_edf_cost,
+    default_lockbased_rua_cost,
+    default_lockfree_rua_cost,
+)
+
+
+class TestModels:
+    def test_zero_cost_is_zero(self):
+        assert ZeroCost().cost(0) == 0
+        assert ZeroCost().cost(1000) == 0
+
+    def test_constant_cost(self):
+        assert ConstantCost(7).cost(0) == 7
+        assert ConstantCost(7).cost(99) == 7
+
+    def test_base_applies_at_zero_jobs(self):
+        assert LinearithmicCost(base=5, unit=1.0).cost(0) == 5
+        assert QuadraticCost(base=5, unit=1.0).cost(0) == 5
+        assert QuadraticLogCost(base=5, unit=1.0).cost(0) == 5
+
+    @given(st.integers(min_value=0, max_value=500))
+    def test_monotone_in_job_count(self, n):
+        for model in (LinearithmicCost(1, 2.0), QuadraticCost(1, 2.0),
+                      QuadraticLogCost(1, 2.0)):
+            assert model.cost(n + 1) >= model.cost(n)
+
+    def test_callable_alias(self):
+        model = QuadraticCost(base=0, unit=1.0)
+        assert model(4) == model.cost(4)
+
+    def test_asymptotic_ordering_at_scale(self):
+        # lock-based RUA pass must dominate lock-free which dominates EDF.
+        n = 10
+        assert (default_lockbased_rua_cost().cost(n)
+                > default_lockfree_rua_cost().cost(n)
+                > default_edf_cost().cost(n))
+
+
+class TestKernelCosts:
+    def test_defaults_are_nonnegative(self):
+        costs = KernelCosts()
+        assert costs.context_switch >= 0
+        assert costs.lock_overhead >= 0
+
+    def test_ideal_is_all_zero(self):
+        costs = KernelCosts.ideal()
+        assert costs.context_switch == 0
+        assert costs.lock_overhead == 0
+        assert costs.cas_overhead == 0
+        assert costs.timer_overhead == 0
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            KernelCosts(context_switch=-1)

@@ -1,0 +1,61 @@
+"""Tests for job body segments."""
+
+import pytest
+
+from repro.tasks.segments import (
+    AccessKind,
+    Compute,
+    ObjectAccess,
+    access_count,
+    access_time,
+    accessed_objects,
+    compute_time,
+)
+
+
+class TestCompute:
+    def test_holds_duration(self):
+        assert Compute(100).duration == 100
+
+    def test_zero_duration_allowed(self):
+        assert Compute(0).duration == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+
+class TestObjectAccess:
+    def test_defaults_to_write(self):
+        assert ObjectAccess(obj=0, duration=5).kind is AccessKind.WRITE
+
+    def test_read_kind(self):
+        assert ObjectAccess(obj="q", duration=5,
+                            kind=AccessKind.READ).kind is AccessKind.READ
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            ObjectAccess(obj=0, duration=0)
+
+
+class TestAggregates:
+    body = (Compute(100), ObjectAccess(obj=1, duration=10),
+            Compute(50), ObjectAccess(obj=2, duration=20),
+            ObjectAccess(obj=1, duration=5))
+
+    def test_compute_time(self):
+        assert compute_time(self.body) == 150
+
+    def test_access_count(self):
+        assert access_count(self.body) == 3
+
+    def test_access_time(self):
+        assert access_time(self.body) == 35
+
+    def test_accessed_objects_deduplicates(self):
+        assert accessed_objects(self.body) == frozenset({1, 2})
+
+    def test_empty_body_aggregates(self):
+        assert compute_time(()) == 0
+        assert access_count(()) == 0
+        assert accessed_objects(()) == frozenset()

@@ -1,0 +1,63 @@
+"""Tests for the static task specification."""
+
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.tasks import Compute, ObjectAccess, TaskSpec
+from repro.tuf import StepTUF
+
+
+def _task(**overrides):
+    fields = dict(
+        name="T",
+        arrival=UAMSpec(1, 1, 1000),
+        tuf=StepTUF(critical_time=800),
+        body=(Compute(100), ObjectAccess(obj=0, duration=10), Compute(50)),
+    )
+    fields.update(overrides)
+    return TaskSpec(**fields)
+
+
+class TestDerivedFields:
+    def test_compute_time(self):
+        assert _task().compute_time == 150
+
+    def test_access_count_and_time(self):
+        task = _task()
+        assert task.access_count == 1
+        assert task.access_time == 10
+
+    def test_execution_estimate(self):
+        assert _task().execution_estimate == 160
+
+    def test_critical_time_from_tuf(self):
+        assert _task().critical_time == 800
+
+    def test_accessed_objects(self):
+        assert _task().accessed_objects == frozenset({0})
+
+    def test_utilization_bound(self):
+        task = _task(arrival=UAMSpec(1, 2, 1000))
+        assert task.utilization_bound() == pytest.approx(2 * 160 / 1000)
+
+
+class TestValidation:
+    def test_rejects_critical_time_beyond_window(self):
+        # The model requires C_i <= W_i (Section 2).
+        with pytest.raises(ValueError, match="C_i <= W_i"):
+            _task(arrival=UAMSpec(1, 1, 700))
+
+    def test_accepts_critical_time_equal_to_window(self):
+        _task(arrival=UAMSpec(1, 1, 800))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            _task(name="")
+
+    def test_rejects_empty_body(self):
+        with pytest.raises(ValueError):
+            _task(body=())
+
+    def test_rejects_negative_handler_time(self):
+        with pytest.raises(ValueError):
+            _task(abort_handler_time=-1)

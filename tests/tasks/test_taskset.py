@@ -1,0 +1,110 @@
+"""Tests for task-set builders."""
+
+import random
+
+import pytest
+
+from repro.arrivals import UAMSpec, check_uam, generator_for
+from repro.tasks import (
+    Compute,
+    ObjectAccess,
+    approximate_load,
+    make_task,
+    random_taskset,
+    scale_to_load,
+)
+from repro.tuf import StepTUF
+
+
+def _arrival(window=100_000):
+    return UAMSpec(1, 1, window)
+
+
+class TestMakeTask:
+    def test_spreads_accesses_through_body(self):
+        task = make_task("T", _arrival(), StepTUF(50_000), compute=300,
+                         accesses=[(0, 10), (1, 10)])
+        kinds = [type(s).__name__ for s in task.body]
+        assert kinds == ["Compute", "ObjectAccess", "Compute",
+                         "ObjectAccess", "Compute"]
+        assert task.compute_time == 300
+        assert task.access_count == 2
+
+    def test_without_accesses_single_compute(self):
+        task = make_task("T", _arrival(), StepTUF(50_000), compute=100)
+        assert task.body == (Compute(100),)
+
+    def test_compute_split_preserves_total(self):
+        task = make_task("T", _arrival(), StepTUF(50_000), compute=301,
+                         accesses=[(0, 5), (1, 5), (2, 5)])
+        assert task.compute_time == 301
+
+
+class TestApproximateLoad:
+    def test_matches_definition(self):
+        tasks = [
+            make_task("A", _arrival(), StepTUF(10_000), compute=1_000),
+            make_task("B", _arrival(), StepTUF(20_000), compute=4_000),
+        ]
+        assert approximate_load(tasks) == pytest.approx(0.1 + 0.2)
+
+    def test_excludes_access_time(self):
+        with_access = make_task("A", _arrival(), StepTUF(10_000),
+                                compute=1_000, accesses=[(0, 500)])
+        without = make_task("A", _arrival(), StepTUF(10_000), compute=1_000)
+        assert approximate_load([with_access]) == approximate_load([without])
+
+
+class TestScaleToLoad:
+    def test_hits_target(self):
+        tasks = [
+            make_task("A", _arrival(), StepTUF(10_000), compute=1_000),
+            make_task("B", _arrival(), StepTUF(20_000), compute=2_000),
+        ]
+        scaled = scale_to_load(tasks, 0.8)
+        assert approximate_load(scaled) == pytest.approx(0.8, rel=0.01)
+
+    def test_preserves_access_structure(self):
+        tasks = [make_task("A", _arrival(), StepTUF(10_000), compute=1_000,
+                           accesses=[(3, 77)])]
+        scaled = scale_to_load(tasks, 0.5)
+        accesses = [s for s in scaled[0].body if isinstance(s, ObjectAccess)]
+        assert accesses == [ObjectAccess(obj=3, duration=77)]
+
+    def test_rejects_nonpositive_target(self):
+        tasks = [make_task("A", _arrival(), StepTUF(10_000), compute=100)]
+        with pytest.raises(ValueError):
+            scale_to_load(tasks, 0.0)
+
+
+class TestRandomTaskset:
+    def test_reproducible(self):
+        a = random_taskset(random.Random(1), n_tasks=5)
+        b = random_taskset(random.Random(1), n_tasks=5)
+        assert [t.name for t in a] == [t.name for t in b]
+        assert [t.compute_time for t in a] == [t.compute_time for t in b]
+
+    def test_respects_c_le_w(self):
+        for task in random_taskset(random.Random(2), n_tasks=20):
+            assert task.critical_time <= task.arrival.window
+
+    def test_target_load(self):
+        tasks = random_taskset(random.Random(3), n_tasks=8, target_load=1.1)
+        assert approximate_load(tasks) == pytest.approx(1.1, rel=0.05)
+
+    def test_tuf_classes(self):
+        step = random_taskset(random.Random(4), n_tasks=3, tuf_class="step")
+        hetero = random_taskset(random.Random(4), n_tasks=3,
+                                tuf_class="hetero")
+        assert len(step) == len(hetero) == 3
+        with pytest.raises(ValueError):
+            random_taskset(random.Random(4), tuf_class="wavy")
+
+    def test_generated_arrivals_conform(self):
+        tasks = random_taskset(random.Random(5), n_tasks=4)
+        rng = random.Random(6)
+        for task in tasks:
+            trace = generator_for(task.arrival, "uniform").generate(
+                rng, task.arrival.window * 10)
+            assert check_uam(trace, task.arrival,
+                             horizon=task.arrival.window * 10) == []

@@ -1,0 +1,16 @@
+"""Tests for the canonical time units."""
+
+from repro.units import MS, NS, SEC, US, ns_to_ms, ns_to_us
+
+
+def test_unit_hierarchy():
+    assert NS == 1
+    assert US == 1000 * NS
+    assert MS == 1000 * US
+    assert SEC == 1000 * MS
+
+
+def test_conversions():
+    assert ns_to_us(2_500) == 2.5
+    assert ns_to_ms(1_500_000) == 1.5
+    assert ns_to_us(0) == 0.0

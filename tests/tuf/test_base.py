@@ -1,0 +1,65 @@
+"""Tests for the TUF protocol and well-formedness checker."""
+
+import pytest
+
+from repro.tuf.base import TimeUtilityFunction, check_tuf_wellformed
+
+
+class _BadNegative(TimeUtilityFunction):
+    critical_time = 100
+
+    def utility(self, sojourn):
+        return -1.0 if 0 <= sojourn < 100 else 0.0
+
+
+class _BadTail(TimeUtilityFunction):
+    critical_time = 100
+
+    def utility(self, sojourn):
+        return 1.0  # never drops to zero
+
+
+class _BadCriticalTime(TimeUtilityFunction):
+    critical_time = 0
+
+    def utility(self, sojourn):
+        return 0.0
+
+
+class _Fine(TimeUtilityFunction):
+    critical_time = 100
+
+    def utility(self, sojourn):
+        return 0.5 if 0 <= sojourn < 100 else 0.0
+
+
+def test_checker_accepts_wellformed():
+    check_tuf_wellformed(_Fine())
+
+
+def test_checker_rejects_negative_utility():
+    with pytest.raises(ValueError, match="negative utility"):
+        check_tuf_wellformed(_BadNegative())
+
+
+def test_checker_rejects_nonzero_tail():
+    with pytest.raises(ValueError, match="zero at/after"):
+        check_tuf_wellformed(_BadTail())
+
+
+def test_checker_rejects_nonpositive_critical_time():
+    with pytest.raises(ValueError, match="critical time"):
+        check_tuf_wellformed(_BadCriticalTime())
+
+
+def test_call_dunder_delegates_to_utility():
+    tuf = _Fine()
+    assert tuf(50) == tuf.utility(50)
+
+
+def test_default_max_utility_is_value_at_zero():
+    assert _Fine().max_utility == 0.5
+
+
+def test_is_non_increasing_detects_flat():
+    assert _Fine().is_non_increasing()

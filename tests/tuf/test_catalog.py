@@ -1,0 +1,72 @@
+"""Tests for the application TUF catalog (paper Figure 1 shapes)."""
+
+import pytest
+
+from repro.tuf import (
+    LinearDecreasingTUF,
+    ParabolicTUF,
+    StepTUF,
+    check_tuf_wellformed,
+    heterogeneous_tuf_mix,
+    step_tuf_mix,
+)
+from repro.tuf.catalog import (
+    awacs_association_tuf,
+    awacs_plot_correlation_tuf,
+    awacs_track_maintenance_tuf,
+    coastal_surveillance_tuf,
+    missile_intercept_tuf,
+)
+
+
+@pytest.mark.parametrize("factory", [
+    awacs_association_tuf,
+    awacs_plot_correlation_tuf,
+    awacs_track_maintenance_tuf,
+    coastal_surveillance_tuf,
+    missile_intercept_tuf,
+])
+def test_catalog_entries_are_wellformed(factory):
+    check_tuf_wellformed(factory())
+
+
+def test_association_is_step():
+    assert isinstance(awacs_association_tuf(), StepTUF)
+
+
+def test_intercept_is_increasing():
+    tuf = missile_intercept_tuf()
+    assert tuf.utility(tuf.critical_time - 1) > tuf.utility(0)
+
+
+def test_coastal_surveillance_has_grace_interval():
+    tuf = coastal_surveillance_tuf(critical_time=80_000, importance=2.0)
+    assert tuf.utility(0) == 2.0
+    assert tuf.utility(80_000 // 4) == 2.0
+    assert tuf.utility(80_000 // 2) < 2.0
+
+
+def test_importance_scales_catalog_entries():
+    assert awacs_association_tuf(importance=5.0).max_utility == 5.0
+
+
+def test_step_mix_lengths_and_types():
+    mix = step_tuf_mix([100, 200, 300])
+    assert len(mix) == 3
+    assert all(isinstance(t, StepTUF) for t in mix)
+    assert [t.critical_time for t in mix] == [100, 200, 300]
+
+
+def test_heterogeneous_mix_cycles_shapes():
+    mix = heterogeneous_tuf_mix([100] * 6)
+    assert isinstance(mix[0], StepTUF)
+    assert isinstance(mix[1], ParabolicTUF)
+    assert isinstance(mix[2], LinearDecreasingTUF)
+    assert isinstance(mix[3], StepTUF)
+
+
+def test_mix_rejects_mismatched_importances():
+    with pytest.raises(ValueError):
+        step_tuf_mix([100, 200], importances=[1.0])
+    with pytest.raises(ValueError):
+        heterogeneous_tuf_mix([100, 200], importances=[1.0])

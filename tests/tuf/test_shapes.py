@@ -1,0 +1,207 @@
+"""Unit tests for TUF shapes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tuf import (
+    CompositeMaxTUF,
+    LinearDecreasingTUF,
+    ParabolicTUF,
+    PiecewiseLinearTUF,
+    RampUpTUF,
+    ScaledTUF,
+    StepTUF,
+    TableTUF,
+    check_tuf_wellformed,
+)
+
+
+class TestStepTUF:
+    def test_unit_height_before_critical_time(self):
+        tuf = StepTUF(critical_time=100)
+        assert tuf.utility(0) == 1.0
+        assert tuf.utility(99) == 1.0
+
+    def test_zero_at_and_after_critical_time(self):
+        tuf = StepTUF(critical_time=100)
+        assert tuf.utility(100) == 0.0
+        assert tuf.utility(101) == 0.0
+        assert tuf.utility(10_000) == 0.0
+
+    def test_height_scales_utility(self):
+        tuf = StepTUF(critical_time=50, height=7.5)
+        assert tuf.utility(25) == 7.5
+        assert tuf.max_utility == 7.5
+
+    def test_negative_sojourn_yields_zero(self):
+        assert StepTUF(critical_time=10).utility(-1) == 0.0
+
+    def test_rejects_nonpositive_critical_time(self):
+        with pytest.raises(ValueError):
+            StepTUF(critical_time=0)
+
+    def test_rejects_nonpositive_height(self):
+        with pytest.raises(ValueError):
+            StepTUF(critical_time=10, height=0.0)
+
+    def test_is_non_increasing(self):
+        assert StepTUF(critical_time=100).is_non_increasing()
+
+    @given(st.integers(min_value=1, max_value=10**9),
+           st.integers(min_value=-100, max_value=2 * 10**9))
+    def test_binary_valued_everywhere(self, critical, sojourn):
+        tuf = StepTUF(critical_time=critical)
+        assert tuf.utility(sojourn) in (0.0, 1.0)
+
+
+class TestLinearDecreasingTUF:
+    def test_full_utility_at_release(self):
+        tuf = LinearDecreasingTUF(critical_time=100, initial=2.0)
+        assert tuf.utility(0) == 2.0
+
+    def test_halfway_yields_half(self):
+        tuf = LinearDecreasingTUF(critical_time=100, initial=2.0)
+        assert tuf.utility(50) == pytest.approx(1.0)
+
+    def test_zero_at_critical_time(self):
+        tuf = LinearDecreasingTUF(critical_time=100)
+        assert tuf.utility(100) == 0.0
+
+    def test_is_non_increasing(self):
+        assert LinearDecreasingTUF(critical_time=1000).is_non_increasing()
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_monotone_decrease_property(self, critical):
+        tuf = LinearDecreasingTUF(critical_time=critical)
+        quarter = critical // 4
+        values = [tuf.utility(k * quarter) for k in range(4)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestParabolicTUF:
+    def test_decays_slowly_then_steeply(self):
+        tuf = ParabolicTUF(critical_time=100)
+        early_drop = tuf.utility(0) - tuf.utility(25)
+        late_drop = tuf.utility(50) - tuf.utility(75)
+        assert early_drop < late_drop
+
+    def test_matches_formula(self):
+        tuf = ParabolicTUF(critical_time=200, initial=4.0)
+        assert tuf.utility(100) == pytest.approx(4.0 * (1 - 0.25))
+
+    def test_zero_beyond_critical_time(self):
+        tuf = ParabolicTUF(critical_time=100)
+        assert tuf.utility(100) == 0.0
+        assert tuf.utility(150) == 0.0
+
+    def test_is_non_increasing(self):
+        assert ParabolicTUF(critical_time=512).is_non_increasing()
+
+
+class TestRampUpTUF:
+    def test_increases_toward_critical_time(self):
+        tuf = RampUpTUF(critical_time=100, start=0.0, peak=1.0)
+        assert tuf.utility(80) > tuf.utility(20)
+
+    def test_drops_to_zero_at_critical_time(self):
+        tuf = RampUpTUF(critical_time=100)
+        assert tuf.utility(99) > 0
+        assert tuf.utility(100) == 0.0
+
+    def test_not_non_increasing(self):
+        assert not RampUpTUF(critical_time=1000).is_non_increasing()
+
+    def test_max_utility_is_near_peak(self):
+        tuf = RampUpTUF(critical_time=1000, start=0.0, peak=5.0)
+        assert tuf.max_utility == pytest.approx(5.0, rel=0.01)
+
+    def test_rejects_peak_below_start(self):
+        with pytest.raises(ValueError):
+            RampUpTUF(critical_time=10, start=1.0, peak=0.5)
+
+
+class TestPiecewiseLinearTUF:
+    def test_grace_then_decay(self):
+        tuf = PiecewiseLinearTUF(points=((0, 1.0), (50, 1.0), (100, 0.0)))
+        assert tuf.utility(25) == 1.0
+        assert tuf.utility(75) == pytest.approx(0.5)
+        assert tuf.critical_time == 100
+
+    def test_interpolation_exact_at_breakpoints(self):
+        tuf = PiecewiseLinearTUF(points=((0, 2.0), (10, 1.0), (20, 0.0)))
+        assert tuf.utility(10) == pytest.approx(1.0)
+
+    def test_rejects_nonzero_terminal_utility(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearTUF(points=((0, 1.0), (10, 0.5)))
+
+    def test_rejects_unordered_breakpoints(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearTUF(points=((0, 1.0), (10, 0.5), (10, 0.0)))
+
+    def test_rejects_missing_origin(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearTUF(points=((5, 1.0), (10, 0.0)))
+
+    def test_max_utility_over_interior_peak(self):
+        tuf = PiecewiseLinearTUF(points=((0, 0.5), (10, 3.0), (20, 0.0)))
+        assert tuf.max_utility == 3.0
+
+
+class TestTableTUF:
+    def test_sampled_lookup(self):
+        tuf = TableTUF(values=(3.0, 2.0, 1.0), resolution=10)
+        assert tuf.utility(0) == 3.0
+        assert tuf.utility(9) == 3.0
+        assert tuf.utility(10) == 2.0
+        assert tuf.utility(29) == 1.0
+        assert tuf.utility(30) == 0.0
+        assert tuf.critical_time == 30
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            TableTUF(values=())
+
+    def test_rejects_negative_utilities(self):
+        with pytest.raises(ValueError):
+            TableTUF(values=(1.0, -0.5))
+
+
+class TestScaledTUF:
+    def test_scales_utility_and_preserves_critical_time(self):
+        inner = StepTUF(critical_time=100)
+        tuf = ScaledTUF(inner=inner, factor=3.0)
+        assert tuf.utility(50) == 3.0
+        assert tuf.critical_time == 100
+        assert tuf.max_utility == 3.0
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            ScaledTUF(inner=StepTUF(critical_time=10), factor=0.0)
+
+
+class TestCompositeMaxTUF:
+    def test_pointwise_maximum(self):
+        a = LinearDecreasingTUF(critical_time=100, initial=1.0)
+        b = ParabolicTUF(critical_time=100, initial=0.8)
+        tuf = CompositeMaxTUF(components=(a, b))
+        for t in (0, 30, 60, 99):
+            assert tuf.utility(t) == max(a.utility(t), b.utility(t))
+
+    def test_rejects_mismatched_critical_times(self):
+        with pytest.raises(ValueError):
+            CompositeMaxTUF(components=(StepTUF(critical_time=10),
+                                        StepTUF(critical_time=20)))
+
+
+@pytest.mark.parametrize("tuf", [
+    StepTUF(critical_time=1000),
+    LinearDecreasingTUF(critical_time=1000),
+    ParabolicTUF(critical_time=1000),
+    RampUpTUF(critical_time=1000),
+    PiecewiseLinearTUF(points=((0, 1.0), (400, 1.0), (1000, 0.0))),
+    TableTUF(values=(2.0, 1.0, 0.5), resolution=100),
+    ScaledTUF(inner=StepTUF(critical_time=1000), factor=2.0),
+])
+def test_all_shapes_are_wellformed(tuf):
+    check_tuf_wellformed(tuf)
