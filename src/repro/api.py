@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 from repro.arrivals.generators import generator_for
 from repro.core.edf import EDF
+from repro.faults.degradation import AdmissionPolicy, RetryGuard
+from repro.faults.plan import FaultPlan
 from repro.core.rua_lockbased import LockBasedRUA
 from repro.core.rua_lockfree import LockFreeRUA
 from repro.sim.kernel import Kernel, SimulationConfig, SyncMode
@@ -65,8 +67,18 @@ def build_policy_and_mode(sync: str):
 
 def simulate(tasks: list[TaskSpec], sync: str, horizon: int, seed: int,
              arrival_style: str = "uniform",
-             trace: bool = False) -> SimulationSummary:
-    """Run one simulation of ``tasks`` under the given sync style."""
+             trace: bool = False,
+             fault_plan: "FaultPlan | None" = None,
+             admission: "AdmissionPolicy | None" = None,
+             retry_guard: "RetryGuard | None" = None,
+             monitors: bool = False) -> SimulationSummary:
+    """Run one simulation of ``tasks`` under the given sync style.
+
+    The optional fault/degradation arguments (see :mod:`repro.faults`)
+    inject a deterministic fault plan, guard UAM admission, bound
+    lock-free retries, and attach the runtime invariant monitors; the
+    run's degradation report lands on ``summary.result.degradation``.
+    """
     rng = random.Random(seed)
     traces = [
         generator_for(task.arrival, arrival_style).generate(rng, horizon)
@@ -81,6 +93,10 @@ def simulate(tasks: list[TaskSpec], sync: str, horizon: int, seed: int,
         sync=mode,
         costs=costs,
         trace=trace,
+        fault_plan=fault_plan,
+        admission=admission,
+        retry_guard=retry_guard,
+        monitors=monitors,
     )
     result = Kernel(config).run()
     return SimulationSummary(

@@ -15,6 +15,7 @@ paper's Theorem 2), Poisson-thinned and periodic.
 
 from repro.arrivals.spec import UAMSpec
 from repro.arrivals.validate import (
+    OnlineWindowCounter,
     UAMViolation,
     check_uam,
     max_arrivals_in_any_window,
@@ -31,6 +32,7 @@ from repro.arrivals.generators import (
 
 __all__ = [
     "UAMSpec",
+    "OnlineWindowCounter",
     "UAMViolation",
     "check_uam",
     "max_arrivals_in_any_window",

@@ -28,6 +28,60 @@ class UAMViolation:
         )
 
 
+class OnlineWindowCounter:
+    """Online counterpart of :func:`check_uam`'s max-bound check.
+
+    Tracks admitted arrival times and answers, in amortized O(1), whether
+    admitting one more arrival *now* would exceed ``limit`` arrivals in
+    the half-open window ``(now - window, now]`` — the same convention as
+    the offline validators.  Used by the kernel's UAM admission guard to
+    detect out-of-spec arrivals as they happen.
+    """
+
+    def __init__(self, window: int, limit: int) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if limit < 1:
+            raise ValueError("limit must be at least 1")
+        self.window = window
+        self.limit = limit
+        self._admitted: list[int] = []
+        self._left = 0          # index of the oldest arrival still in window
+
+    def _advance(self, now: int) -> None:
+        while (self._left < len(self._admitted)
+               and self._admitted[self._left] <= now - self.window):
+            self._left += 1
+
+    def count_at(self, now: int) -> int:
+        """Admitted arrivals inside ``(now - window, now]``."""
+        self._advance(now)
+        return len(self._admitted) - self._left
+
+    def would_conform(self, now: int) -> bool:
+        """True if admitting one more arrival at ``now`` stays in spec."""
+        return self.count_at(now) < self.limit
+
+    def admit(self, now: int) -> None:
+        """Record an admitted arrival.  Times must be non-decreasing."""
+        if self._admitted and now < self._admitted[-1]:
+            raise ValueError("admission times must be non-decreasing")
+        self._admitted.append(now)
+
+    def earliest_admissible(self, now: int) -> int:
+        """Earliest ``t >= now`` at which one more arrival would conform:
+        the instant the ``limit``-th most recent admission leaves the
+        sliding window."""
+        if self.would_conform(now):
+            return now
+        blocker = self._admitted[len(self._admitted) - self.limit]
+        return blocker + self.window
+
+    @property
+    def admitted_times(self) -> tuple[int, ...]:
+        return tuple(self._admitted)
+
+
 def max_arrivals_in_any_window(times: list[int], window: int) -> int:
     """Largest number of arrivals in any half-open window of the given
     length.  ``times`` must be sorted; simultaneous arrivals are allowed.

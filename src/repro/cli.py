@@ -6,7 +6,10 @@ Commands:
 * ``figure`` — run one of the paper's figure campaigns (reduced settings
   by default; ``--repeats``/``--horizon-ms`` scale it up);
 * ``retrybound`` — the Theorem 2 validation campaign;
-* ``sojourn`` — evaluate the Theorem 3 comparison for given parameters.
+* ``sojourn`` — evaluate the Theorem 3 comparison for given parameters;
+* ``faults`` — the CML-under-faults degradation campaign: inject
+  out-of-spec arrival bursts, compare shedding on vs off, and write the
+  degradation report.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ import sys
 from repro.analysis.sojourn import compare_sojourn
 from repro.api import quick_simulation
 from repro.experiments import figures
+from repro.experiments.faults import cml_under_faults
 from repro.units import MS
 
 FIGURES = {
@@ -61,6 +65,21 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="Theorem 2 retry-bound validation")
     retry.add_argument("--repeats", type=int, default=3)
     retry.add_argument("--horizon-ms", type=int, default=300)
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection campaign: AUR degradation under "
+             "out-of-spec arrival bursts, shedding on vs off")
+    faults.add_argument("--bursts", default="0,1,2,4,8",
+                        help="comma-separated bursts-per-task levels")
+    faults.add_argument("--burst-size", type=int, default=2)
+    faults.add_argument("--repeats", type=int, default=3)
+    faults.add_argument("--horizon-ms", type=int, default=60)
+    faults.add_argument("--load", type=float, default=0.8)
+    faults.add_argument("--max-retries", type=int, default=8)
+    faults.add_argument("--seed", type=int, default=700)
+    faults.add_argument("--out", default=None,
+                        help="also write the degradation report to a file")
 
     sojourn = sub.add_parser("sojourn",
                              help="Theorem 3 sojourn comparison")
@@ -118,6 +137,38 @@ def _cmd_retrybound(args) -> int:
     return 1 if violated else 0
 
 
+def _cmd_faults(args) -> int:
+    try:
+        levels = tuple(int(part) for part in args.bursts.split(",") if part)
+    except ValueError:
+        print(f"invalid --bursts {args.bursts!r}: expected e.g. 0,2,4",
+              file=sys.stderr)
+        return 2
+    if not levels:
+        print("--bursts must name at least one level", file=sys.stderr)
+        return 2
+    if any(level < 0 for level in levels):
+        print(f"invalid --bursts {args.bursts!r}: levels must be >= 0",
+              file=sys.stderr)
+        return 2
+    campaign = cml_under_faults(
+        burst_levels=levels,
+        repeats=args.repeats,
+        horizon=args.horizon_ms * MS,
+        load=args.load,
+        burst_size=args.burst_size,
+        max_retries=args.max_retries,
+        base_seed=args.seed,
+    )
+    text = campaign.render()
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"degradation report written to {args.out}")
+    return 0
+
+
 def _cmd_sojourn(args) -> int:
     n = 2 * args.a + args.x   # worst-case n_i
     comparison = compare_sojourn(
@@ -142,6 +193,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "retrybound":
         return _cmd_retrybound(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "sojourn":
         return _cmd_sojourn(args)
     raise AssertionError("unreachable")

@@ -13,6 +13,8 @@ from typing import Callable
 
 from repro.api import build_policy_and_mode
 from repro.arrivals.generators import generator_for
+from repro.faults.degradation import AdmissionPolicy, RetryGuard
+from repro.faults.plan import FaultPlan
 from repro.sim.kernel import Kernel, SimulationConfig
 from repro.sim.metrics import SimulationResult
 from repro.sim.objects import RetryPolicy
@@ -24,8 +26,13 @@ TasksetBuilder = Callable[[random.Random], list[TaskSpec]]
 def run_once(tasks: list[TaskSpec], sync: str, horizon: int,
              rng: random.Random, arrival_style: str = "uniform",
              retry_policy: RetryPolicy = RetryPolicy.ON_CONFLICT,
-             trace: bool = False) -> SimulationResult:
-    """One simulation of a concrete task set."""
+             trace: bool = False,
+             fault_plan: "FaultPlan | None" = None,
+             admission: "AdmissionPolicy | None" = None,
+             retry_guard: "RetryGuard | None" = None,
+             monitors: bool = False) -> SimulationResult:
+    """One simulation of a concrete task set.  The optional fault layer
+    arguments mirror :class:`repro.sim.kernel.SimulationConfig`."""
     traces = [
         generator_for(task.arrival, arrival_style).generate(rng, horizon)
         for task in tasks
@@ -40,6 +47,10 @@ def run_once(tasks: list[TaskSpec], sync: str, horizon: int,
         costs=costs,
         retry_policy=retry_policy,
         trace=trace,
+        fault_plan=fault_plan,
+        admission=admission,
+        retry_guard=retry_guard,
+        monitors=monitors,
     )
     return Kernel(config).run()
 

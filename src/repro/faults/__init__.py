@@ -1,0 +1,49 @@
+"""Fault injection, graceful degradation, and runtime invariant
+monitoring for the simulated kernel.
+
+The paper's value proposition is predictability *under misbehavior*; this
+package supplies the misbehavior (deterministic, seed-driven
+:class:`FaultPlan` injectors), the degradation machinery (UAM
+:class:`AdmissionGuard` shedding/deferring out-of-spec arrivals, a
+:class:`RetryGuard` bounding lock-free retries with backoff and
+Section 3.5 aborts), and the :class:`MonitorSuite` of online invariant
+checkers whose findings land in a structured :class:`DegradationReport`
+on the :class:`~repro.sim.metrics.SimulationResult`.
+"""
+
+from repro.faults.degradation import (
+    AdmissionGuard,
+    AdmissionPolicy,
+    Decision,
+    RetryGuard,
+    ShedMode,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.monitors import MonitorSuite
+from repro.faults.plan import (
+    ArrivalBurst,
+    CostJitter,
+    FaultPlan,
+    SegmentOverrun,
+    SpuriousRetry,
+    TimerFault,
+)
+from repro.faults.report import DegradationReport, InvariantViolation
+
+__all__ = [
+    "AdmissionGuard",
+    "AdmissionPolicy",
+    "ArrivalBurst",
+    "CostJitter",
+    "Decision",
+    "DegradationReport",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantViolation",
+    "MonitorSuite",
+    "RetryGuard",
+    "SegmentOverrun",
+    "ShedMode",
+    "SpuriousRetry",
+    "TimerFault",
+]

@@ -1,0 +1,123 @@
+"""Graceful-degradation policies: UAM admission guarding and bounded
+retries.
+
+The paper's analytical results (Theorems 2/3, Lemmas 4/5) are premised on
+every task honouring its declared UAM ``<l, a, W>`` envelope and on
+lock-free accesses retrying a bounded number of times.  When inputs break
+those premises the kernel should *degrade*, not corrupt the analysis:
+
+* the :class:`AdmissionGuard` detects arrivals that exceed the UAM max
+  bound as they happen (online sliding-window check, the runtime twin of
+  :func:`repro.arrivals.validate.check_uam`) and either **sheds** them or
+  **defers** them to the earliest conforming instant;
+* the :class:`RetryGuard` bounds lock-free retries: each retry beyond the
+  first is charged a configurable backoff, and after ``max_retries``
+  retries of one access the job is aborted through the paper's
+  Section 3.5 abortion model (handler time charged, zero utility) instead
+  of spinning unboundedly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arrivals.validate import OnlineWindowCounter
+from repro.faults.report import DegradationReport
+from repro.tasks.task import TaskSpec
+
+
+class ShedMode(enum.Enum):
+    """What to do with an out-of-spec arrival."""
+
+    SHED = "shed"       # reject: the job is never released
+    DEFER = "defer"     # re-release at the earliest conforming instant
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Configuration of the UAM admission guard."""
+
+    mode: ShedMode = ShedMode.SHED
+
+
+class Decision(enum.Enum):
+    ADMIT = "admit"
+    SHED = "shed"
+    DEFER = "defer"
+
+
+class AdmissionGuard:
+    """Per-run UAM admission state: one online window counter per task."""
+
+    def __init__(self, tasks: Sequence[TaskSpec], policy: AdmissionPolicy,
+                 report: DegradationReport) -> None:
+        self.policy = policy
+        self.report = report
+        self._counters = [
+            OnlineWindowCounter(window=task.arrival.window,
+                                limit=task.arrival.max_arrivals)
+            for task in tasks
+        ]
+
+    def decide(self, task_index: int, now: int) -> tuple[Decision, int]:
+        """Judge one arrival of ``task_index`` at ``now``.
+
+        Returns ``(ADMIT, now)`` — and records the admission — or
+        ``(SHED, now)`` / ``(DEFER, retry_time)`` per the policy.  The
+        caller re-submits a deferred arrival at ``retry_time``, where it
+        is judged again (other admissions may have happened meanwhile).
+        """
+        counter = self._counters[task_index]
+        if counter.would_conform(now):
+            counter.admit(now)
+            return Decision.ADMIT, now
+        if self.policy.mode is ShedMode.SHED:
+            self.report.shed_jobs += 1
+            return Decision.SHED, now
+        retry_time = counter.earliest_admissible(now)
+        self.report.deferred_jobs += 1
+        self.report.deferred_delay_total += retry_time - now
+        return Decision.DEFER, retry_time
+
+    def admitted_times(self, task_index: int) -> tuple[int, ...]:
+        """Release times actually admitted for a task — by construction a
+        UAM-max-conformant trace (tests verify with ``check_uam``)."""
+        return self._counters[task_index].admitted_times
+
+
+@dataclass(frozen=True)
+class RetryGuard:
+    """Bounded-retry policy for lock-free accesses.
+
+    ``max_retries`` is the per-access retry budget ``k``; when an access
+    would retry for the ``k+1``-th time the job is aborted instead
+    (Section 3.5 abortion model).  ``backoff_base``/``backoff_factor``
+    shape the per-retry backoff delay: retry ``j`` (1-based) waits
+    ``backoff_base * backoff_factor**(j-1)`` ticks before restarting.
+    """
+
+    max_retries: int
+    backoff_base: int = 0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be at least 1")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+
+    def backoff(self, attempt: int) -> int:
+        """Backoff delay before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt must be at least 1")
+        if self.backoff_base == 0:
+            return 0
+        return round(self.backoff_base * self.backoff_factor ** (attempt - 1))
+
+    def exhausted(self, retries_so_far: int) -> bool:
+        """True when another retry would exceed the ``k`` budget."""
+        return retries_so_far >= self.max_retries

@@ -1,0 +1,137 @@
+"""Runtime fault injector: one per kernel run.
+
+The injector is the mutable counterpart of an immutable
+:class:`~repro.faults.plan.FaultPlan`: it tracks which faults have
+already landed (overruns apply once per segment instance, spurious-retry
+budgets deplete, timer faults fire once per job) and draws all its
+randomness from streams seeded by the plan, so a run replays exactly.
+
+The kernel queries it at five points: arrival priming (bursts), segment
+entry (overruns), preemption (spurious invalidation), timer arming
+(timer faults), and every fixed cost charge (jitter).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import FaultPlan
+from repro.faults.report import DegradationReport
+from repro.tasks.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.objects import LockFreeObjectTable
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to one simulation run."""
+
+    def __init__(self, plan: FaultPlan, report: DegradationReport) -> None:
+        self.plan = plan
+        self.report = report
+        # Derived deterministically from the plan seed (no str hashing:
+        # str hash randomization would break cross-process replay).
+        self._jitter_rng = random.Random(plan.seed * 1_000_003 + 17)
+        # Keyed by (task, jid, segment): job identities can be recycled
+        # by the allocator once a job departs, names cannot.
+        self._overruns_applied: set[tuple[str, int, int]] = set()
+        self._retry_budgets: list[int] = [
+            spec.times for spec in plan.spurious_retries
+        ]
+        self._timer_faults_fired: set[tuple[str, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Arrival bursts
+    # ------------------------------------------------------------------
+
+    def burst_arrivals(self, horizon: int) -> list[tuple[int, int]]:
+        """(time, task_index) pairs to prime beyond the declared traces.
+
+        Bursts at or beyond the horizon are dropped (they could never be
+        observed).  Counting happens at priming so a plan generated for a
+        longer horizon reports only what actually landed.
+        """
+        out: list[tuple[int, int]] = []
+        for burst in self.plan.bursts:
+            if burst.time >= horizon:
+                continue
+            out.extend((burst.time, burst.task_index)
+                       for _ in range(burst.count))
+        self.report.injected_arrivals += len(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Execution-time overruns
+    # ------------------------------------------------------------------
+
+    def overrun_for(self, job: Job) -> int:
+        """Extra ticks to stretch the job's *current* segment by, applied
+        at most once per (job, segment) instance."""
+        if not self.plan.overruns:
+            return 0
+        key = (job.task.name, job.jid, job.segment_index)
+        if key in self._overruns_applied:
+            return 0
+        extra = 0
+        for spec in self.plan.overruns:
+            if spec.matches(job.task.name, job.jid, job.segment_index):
+                extra += spec.extra
+        if extra:
+            self._overruns_applied.add(key)
+            self.report.injected_overruns += 1
+        return extra
+
+    # ------------------------------------------------------------------
+    # Spurious lock-free retries
+    # ------------------------------------------------------------------
+
+    def spurious_invalidate(self, job: Job,
+                            objects: "LockFreeObjectTable") -> bool:
+        """Adversarially invalidate ``job``'s in-flight access at a
+        preemption, if a matching budget remains."""
+        obj = objects.open_access_of(job)
+        if obj is None:
+            return False
+        for index, spec in enumerate(self.plan.spurious_retries):
+            if self._retry_budgets[index] > 0 and spec.matches(
+                    job.task.name, obj):
+                self._retry_budgets[index] -= 1
+                objects.invalidate(job)
+                self.report.forced_retries += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Critical-time timer faults
+    # ------------------------------------------------------------------
+
+    def timer_disposition(self, job: Job) -> tuple[bool, int]:
+        """(drop, delay) for the job's critical-time timer, decided when
+        the timer is armed at release."""
+        for spec in self.plan.timer_faults:
+            if spec.matches(job.task.name, job.jid):
+                key = (job.task.name, job.jid)
+                if key in self._timer_faults_fired:
+                    continue
+                self._timer_faults_fired.add(key)
+                self.report.timer_faults += 1
+                return spec.drop, spec.delay
+        return False, 0
+
+    # ------------------------------------------------------------------
+    # Kernel-cost jitter
+    # ------------------------------------------------------------------
+
+    def cost(self, name: str, base: int) -> int:
+        """Perturb one fixed kernel cost charge."""
+        if self.plan.jitter is None or base == 0:
+            return base
+        # Imported lazily: repro.sim.kernel imports this module, so a
+        # top-level import of repro.sim.overheads would close a cycle
+        # through repro.sim's package __init__.
+        from repro.sim.overheads import jittered_cost
+
+        self.report.jittered_charges += 1
+        return jittered_cost(base, self._jitter_rng,
+                             self.plan.jitter.magnitude)

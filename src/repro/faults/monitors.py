@@ -1,0 +1,134 @@
+"""Online invariant monitors attached to the kernel event loop.
+
+Brandenburg's survey argument (PAPERS.md): analytical bounds are only
+trustworthy when runtime monitors can confirm their preconditions.  These
+monitors watch a run — faulted or not — and *record* (never raise)
+violations into the :class:`~repro.faults.report.DegradationReport`:
+
+* **retry-bound** — per-job lock-free retries must stay within
+  Theorem 2's ``f_i`` (computed from the declared task set; spurious
+  invalidation or out-of-spec bursts legitimately break it, which is
+  precisely what the monitor is for);
+* **clock** — simulation time never goes backwards;
+* **lock-state** — lock ownership/nesting bookkeeping stays consistent
+  between the jobs and the :class:`~repro.sim.locks.LockManager`;
+* **abort-point** — no job executes past its critical time (the abort
+  timer of Section 3.5 must have fired), the invariant a dropped/delayed
+  timer fault visibly breaks.
+
+A fault-free run on any UAM-conformant workload reports zero violations;
+the acceptance tests pin that on the Figure 9–13 workloads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.analysis.retry_bound import retry_bound_for_taskset
+from repro.faults.report import DegradationReport, InvariantViolation
+from repro.tasks.job import Job, JobState
+from repro.tasks.task import TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.locks import LockManager
+
+
+class MonitorSuite:
+    """All runtime invariant monitors for one kernel run."""
+
+    def __init__(self, tasks: Sequence[TaskSpec],
+                 report: DegradationReport) -> None:
+        self.report = report
+        self._tasks = list(tasks)
+        self._last_clock: int | None = None
+        # Theorem 2 bounds are computed lazily (only lock-free runs that
+        # actually retry pay for them) and cached per task name.
+        self._retry_bounds: dict[str, int] = {}
+        # One violation per (monitor, job) — a job that breaks a bound
+        # once would otherwise flood the report on every later event.
+        self._flagged: set[tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _violate(self, time: int, monitor: str, job: str,
+                 detail: str) -> None:
+        if (monitor, job) in self._flagged:
+            return
+        self._flagged.add((monitor, job))
+        self.report.record(InvariantViolation(
+            time=time, monitor=monitor, job=job, detail=detail))
+
+    # ------------------------------------------------------------------
+    # Clock monotonicity
+    # ------------------------------------------------------------------
+
+    def note_clock(self, time: int) -> None:
+        if self._last_clock is not None and time < self._last_clock:
+            self._violate(time, "clock", "",
+                          f"clock moved backwards: {self._last_clock} "
+                          f"-> {time}")
+            return
+        self._last_clock = time
+
+    # ------------------------------------------------------------------
+    # Theorem 2 retry bound
+    # ------------------------------------------------------------------
+
+    def _bound_for(self, task_name: str) -> int:
+        bound = self._retry_bounds.get(task_name)
+        if bound is None:
+            index = next(i for i, t in enumerate(self._tasks)
+                         if t.name == task_name)
+            bound = retry_bound_for_taskset(self._tasks, index)
+            self._retry_bounds[task_name] = bound
+        return bound
+
+    def note_retry(self, time: int, job: Job) -> None:
+        """Called after each lock-free retry is accounted."""
+        bound = self._bound_for(job.task.name)
+        if job.retries > bound:
+            self._violate(time, "retry-bound", job.name,
+                          f"{job.retries} retries exceed Theorem 2 bound "
+                          f"f_i={bound}")
+
+    # ------------------------------------------------------------------
+    # Abort point
+    # ------------------------------------------------------------------
+
+    def note_execution(self, job: Job, start: int, end: int) -> None:
+        """The running job executed over ``(start, end]``: none of that
+        work may lie past its absolute critical time."""
+        if end > job.critical_time_abs:
+            self._violate(end, "abort-point", job.name,
+                          f"executed to {end}, past critical time "
+                          f"{job.critical_time_abs}")
+
+    # ------------------------------------------------------------------
+    # Lock ownership / nesting
+    # ------------------------------------------------------------------
+
+    def audit_locks(self, time: int, live: Sequence[Job],
+                    locks: "LockManager") -> None:
+        """Cross-check per-job lock state against the lock manager."""
+        for job in live:
+            held = set(locks.held_by(job))
+            if held != job.held_locks:
+                self._violate(time, "lock-state", job.name,
+                              f"held-lock mismatch: job says "
+                              f"{sorted(map(str, job.held_locks))}, "
+                              f"manager says {sorted(map(str, held))}")
+            if job.blocked_on is not None:
+                if job.blocked_on in held:
+                    self._violate(time, "lock-state", job.name,
+                                  f"waits on {job.blocked_on!r} it holds")
+                owner = locks.owner_of(job.blocked_on)
+                if owner is None and job.state is JobState.BLOCKED:
+                    self._violate(time, "lock-state", job.name,
+                                  f"blocked on unowned {job.blocked_on!r}")
+            elif job.state is JobState.BLOCKED:
+                self._violate(time, "lock-state", job.name,
+                              "BLOCKED with no blocked_on object")
+        for anomaly in locks.consistency_anomalies():
+            self._violate(time, "lock-state", "", anomaly)

@@ -1,0 +1,188 @@
+"""Declarative, seed-driven fault plans.
+
+A :class:`FaultPlan` is an immutable description of every perturbation a
+run should suffer.  Plans are pure data: the same plan replayed against
+the same :class:`~repro.sim.kernel.SimulationConfig` produces the *same*
+faults at the same instants, which is what makes degraded runs debuggable
+and the acceptance tests reproducible.
+
+Five injector families mirror the ways a real embedded system misbehaves:
+
+* :class:`SegmentOverrun` — a job segment executes longer than its
+  declared WCET (the ``c_i`` the analysis trusts);
+* :class:`ArrivalBurst` — extra releases beyond the task's UAM ``a_i``
+  budget (the premise of Theorems 2/3 and Lemmas 4/5);
+* :class:`SpuriousRetry` — adversarial invalidation of in-flight
+  lock-free accesses on preemption (retry storms; Alistarh et al. show
+  retry behaviour is scheduler-dependent in exactly this regime);
+* :class:`TimerFault` — a critical-time timer fires late or never
+  (Section 3.5's abortion model silently disarmed);
+* :class:`CostJitter` — multiplicative noise on the fixed
+  :class:`~repro.sim.overheads.KernelCosts` charges (cost-model drift).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+ObjectId = int | str
+
+
+@dataclass(frozen=True)
+class SegmentOverrun:
+    """Stretch matching segments by ``extra`` ticks past their WCET.
+
+    ``jid``/``segment_index`` of ``None`` match every job / segment of
+    the task.  The overrun is applied once per (job, segment) instance.
+    """
+
+    task: str
+    extra: int
+    jid: int | None = None
+    segment_index: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.extra <= 0:
+            raise ValueError("overrun extra must be positive")
+
+    def matches(self, task_name: str, jid: int, segment_index: int) -> bool:
+        return (self.task == task_name
+                and (self.jid is None or self.jid == jid)
+                and (self.segment_index is None
+                     or self.segment_index == segment_index))
+
+
+@dataclass(frozen=True)
+class ArrivalBurst:
+    """``count`` extra releases of task ``task_index`` at ``time`` —
+    deliberately *not* checked against the task's UAM envelope."""
+
+    task_index: int
+    time: int
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("burst time must be non-negative")
+        if self.count < 1:
+            raise ValueError("burst count must be at least 1")
+
+
+@dataclass(frozen=True)
+class SpuriousRetry:
+    """Invalidate up to ``times`` in-flight lock-free accesses of
+    matching jobs at preemption (an adversary committing a conflicting
+    write during every preemption window).
+
+    ``task`` of ``None`` matches any task; ``obj`` of ``None`` matches
+    any object.
+    """
+
+    times: int
+    task: str | None = None
+    obj: ObjectId | None = None
+
+    def __post_init__(self) -> None:
+        if self.times < 1:
+            raise ValueError("times must be at least 1")
+
+    def matches(self, task_name: str, obj: ObjectId) -> bool:
+        return ((self.task is None or self.task == task_name)
+                and (self.obj is None or self.obj == obj))
+
+
+@dataclass(frozen=True)
+class TimerFault:
+    """Drop (``drop=True``) or delay (``delay`` ticks) the critical-time
+    timer of matching jobs.  ``jid`` of ``None`` matches every job."""
+
+    task: str
+    jid: int | None = None
+    delay: int = 0
+    drop: bool = False
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("timer delay must be non-negative")
+        if not self.drop and self.delay == 0:
+            raise ValueError("a timer fault must drop or delay")
+
+    def matches(self, task_name: str, jid: int) -> bool:
+        return self.task == task_name and (self.jid is None
+                                           or self.jid == jid)
+
+
+@dataclass(frozen=True)
+class CostJitter:
+    """Multiplicative uniform jitter of ±``magnitude`` on every fixed
+    kernel cost charge (context switch, lock bookkeeping, CAS, timer
+    service).  Drawn from the plan's seeded stream, so deterministic."""
+
+    magnitude: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.magnitude <= 1.0:
+            raise ValueError("jitter magnitude must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete, immutable fault schedule of one run."""
+
+    seed: int = 0
+    overruns: tuple[SegmentOverrun, ...] = ()
+    bursts: tuple[ArrivalBurst, ...] = ()
+    spurious_retries: tuple[SpuriousRetry, ...] = ()
+    timer_faults: tuple[TimerFault, ...] = ()
+    jitter: CostJitter | None = None
+
+    @property
+    def empty(self) -> bool:
+        return (not self.overruns and not self.bursts
+                and not self.spurious_retries and not self.timer_faults
+                and self.jitter is None)
+
+    # ------------------------------------------------------------------
+    # Seeded generators
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def burst_storm(cls, seed: int, n_tasks: int, horizon: int,
+                    bursts_per_task: int, burst_size: int = 2,
+                    **extra) -> "FaultPlan":
+        """Out-of-spec arrival bursts at seeded-random instants.
+
+        Each task receives ``bursts_per_task`` bursts of ``burst_size``
+        simultaneous extra releases, landing uniformly in the middle 80 %
+        of the horizon (so boundary effects don't mask the overload).
+        Additional plan fields pass through ``extra``.
+        """
+        if n_tasks < 1:
+            raise ValueError("need at least one task")
+        rng = random.Random(seed)
+        bursts = []
+        lo, hi = horizon // 10, max(horizon // 10 + 1, 9 * horizon // 10)
+        for task_index in range(n_tasks):
+            for _ in range(bursts_per_task):
+                bursts.append(ArrivalBurst(
+                    task_index=task_index,
+                    time=rng.randrange(lo, hi),
+                    count=burst_size,
+                ))
+        bursts.sort(key=lambda b: (b.time, b.task_index))
+        return cls(seed=seed, bursts=tuple(bursts), **extra)
+
+    @classmethod
+    def retry_storm(cls, seed: int, times_per_task: int,
+                    task_names: Sequence[str] | None = None,
+                    **extra) -> "FaultPlan":
+        """Adversarial invalidation budget for every (or the named)
+        task(s)."""
+        if task_names is None:
+            retries = (SpuriousRetry(times=times_per_task),)
+        else:
+            retries = tuple(SpuriousRetry(times=times_per_task, task=name)
+                            for name in task_names)
+        return cls(seed=seed, spurious_retries=retries, **extra)

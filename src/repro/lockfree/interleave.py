@@ -14,7 +14,7 @@ Schedulers are callables ``(runnable_fibers, rng, step) -> fiber``.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Generator, Iterable
+from typing import Any, Callable, Generator, Iterable, Sequence
 
 FiberGen = Generator[Any, None, Any]
 Scheduler = Callable[[list["Fiber"], random.Random, int], "Fiber"]
@@ -46,6 +46,23 @@ def random_scheduler(runnable: list[Fiber], rng: random.Random,
     """Uniformly random fiber each step — the usual linearizability
     fuzzer."""
     return rng.choice(runnable)
+
+
+def scripted_scheduler(script: Sequence[str]) -> Scheduler:
+    """Replay an exact interleaving: ``script[step]`` names the fiber to
+    run at that global step.  Once the script is exhausted (or the named
+    fiber has finished) it falls back to round-robin, so a test can pin
+    the critical prefix of an execution and let the tail drain freely."""
+
+    def schedule(runnable: list[Fiber], rng: random.Random,
+                 step: int) -> Fiber:
+        if step < len(script):
+            for fiber in runnable:
+                if fiber.name == script[step]:
+                    return fiber
+        return runnable[step % len(runnable)]
+
+    return schedule
 
 
 def adversarial_scheduler(burst: int = 3) -> Scheduler:

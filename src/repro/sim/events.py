@@ -38,10 +38,17 @@ class EventPriority(enum.IntEnum):
 
 @dataclass(frozen=True)
 class JobArrival:
-    """Release of job ``jid`` of task index ``task_index``."""
+    """Release of job ``jid`` of task index ``task_index``.
+
+    ``injected`` marks arrivals synthesized by the fault layer (burst
+    faults beyond the UAM budget); ``deferrals`` counts how many times
+    the admission guard has already pushed this arrival back.
+    """
 
     task_index: int
     jid: int
+    injected: bool = False
+    deferrals: int = 0
 
 
 @dataclass(frozen=True)

@@ -27,9 +27,20 @@ the milestone through the job's dispatch token.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from repro.faults.degradation import (
+    AdmissionGuard,
+    AdmissionPolicy,
+    Decision,
+    RetryGuard,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.monitors import MonitorSuite
+from repro.faults.plan import FaultPlan
+from repro.faults.report import DegradationReport
 from repro.sim.engine import EventQueue
 from repro.sim.events import (
     CriticalTimeExpiry,
@@ -64,7 +75,20 @@ class SyncMode(enum.Enum):
 class SimulationConfig:
     """Everything a run needs.  ``arrival_traces[i]`` lists the absolute
     release times of ``tasks[i]``'s jobs (UAM-conformant traces come from
-    :mod:`repro.arrivals.generators`)."""
+    :mod:`repro.arrivals.generators`).
+
+    The fault/degradation fields are all optional and default off:
+
+    * ``fault_plan`` — deterministic perturbations to inject
+      (:mod:`repro.faults.plan`);
+    * ``admission`` — UAM admission guarding of out-of-spec arrivals
+      (shed or defer instead of overloading downstream analysis);
+    * ``retry_guard`` — bounded lock-free retries with backoff, aborting
+      through the Section 3.5 abortion model when exhausted;
+    * ``monitors`` — online invariant monitors (Theorem 2 retry bound,
+      clock monotonicity, lock state, abort point) recording violations
+      into the result's degradation report.
+    """
 
     tasks: Sequence[TaskSpec]
     arrival_traces: Sequence[Sequence[int]]
@@ -75,12 +99,41 @@ class SimulationConfig:
     retry_policy: RetryPolicy = RetryPolicy.ON_CONFLICT
     allow_nesting: bool = False
     trace: bool = False
+    # --- fault injection & graceful degradation (all optional) ---------
+    fault_plan: FaultPlan | None = None
+    admission: AdmissionPolicy | None = None
+    retry_guard: RetryGuard | None = None
+    monitors: bool = False
 
     def __post_init__(self) -> None:
         if len(self.tasks) != len(self.arrival_traces):
             raise ValueError("one arrival trace per task is required")
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")
+        for task_index, trace in enumerate(self.arrival_traces):
+            previous = None
+            beyond = 0
+            for release in trace:
+                if release < 0:
+                    raise ValueError(
+                        f"arrival trace of task {task_index} has a "
+                        f"negative release time {release}"
+                    )
+                if previous is not None and release < previous:
+                    raise ValueError(
+                        f"arrival trace of task {task_index} is not sorted"
+                    )
+                previous = release
+                if release >= self.horizon:
+                    beyond += 1
+            if beyond:
+                warnings.warn(
+                    f"arrival trace of task {task_index} has {beyond} "
+                    f"arrival(s) at or beyond the horizon "
+                    f"{self.horizon}; they will never be released",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
 
 class Kernel:
@@ -99,6 +152,30 @@ class Kernel:
         self._objects = LockFreeObjectTable(policy=config.retry_policy)
         self._result = SimulationResult(horizon=config.horizon)
         self._finished = False
+        # --- fault injection / graceful degradation -------------------
+        degradation_active = (
+            (config.fault_plan is not None and not config.fault_plan.empty)
+            or config.admission is not None
+            or config.retry_guard is not None
+            or config.monitors
+        )
+        self._report = DegradationReport() if degradation_active else None
+        self._injector = (
+            FaultInjector(config.fault_plan, self._report)
+            if config.fault_plan is not None and not config.fault_plan.empty
+            else None
+        )
+        self._admission = (
+            AdmissionGuard(config.tasks, config.admission, self._report)
+            if config.admission is not None else None
+        )
+        self._monitors = (
+            MonitorSuite(config.tasks, self._report)
+            if config.monitors else None
+        )
+        # jid counters continue past each declared trace so injected
+        # burst arrivals get unique job names.
+        self._next_jid = [len(t) for t in config.arrival_traces]
 
     # ------------------------------------------------------------------
     # Public API
@@ -106,8 +183,13 @@ class Kernel:
 
     def run(self) -> SimulationResult:
         """Execute the simulation to the horizon and return the result."""
+        # Re-entry is rejected before any side effect of this call is
+        # observable (the queue, clock and result are untouched).
         if self._finished:
-            raise RuntimeError("a Kernel instance runs exactly once")
+            raise RuntimeError(
+                "a Kernel instance runs exactly once (this instance "
+                f"already ran with horizon={self.config.horizon})"
+            )
         self._finished = True
         self._prime_arrivals()
         while self._queue:
@@ -115,10 +197,13 @@ class Kernel:
             if next_time is None or next_time > self.config.horizon:
                 break
             time, event = self._queue.pop()
+            if self._monitors is not None:
+                self._monitors.note_clock(time)
             self._advance_running_to(time)
             self._clock = time
             self._handle(event)
         self._result.unfinished = sum(1 for j in self._live if j.is_live)
+        self._result.degradation = self._report
         return self._result
 
     # ------------------------------------------------------------------
@@ -126,18 +211,21 @@ class Kernel:
     # ------------------------------------------------------------------
 
     def _prime_arrivals(self) -> None:
+        # Traces are validated (sorted, non-negative) by the config.
         for task_index, trace in enumerate(self.config.arrival_traces):
-            previous = None
             for jid, release in enumerate(trace):
-                if previous is not None and release < previous:
-                    raise ValueError(
-                        f"arrival trace of task {task_index} is not sorted"
-                    )
-                previous = release
                 if release >= self.config.horizon:
                     break
                 self._queue.push(release, EventPriority.ARRIVAL,
                                  JobArrival(task_index=task_index, jid=jid))
+        if self._injector is not None:
+            for release, task_index in self._injector.burst_arrivals(
+                    self.config.horizon):
+                jid = self._next_jid[task_index]
+                self._next_jid[task_index] += 1
+                self._queue.push(release, EventPriority.ARRIVAL,
+                                 JobArrival(task_index=task_index, jid=jid,
+                                            injected=True))
 
     # ------------------------------------------------------------------
     # Event handling
@@ -155,19 +243,52 @@ class Kernel:
 
     def _handle_arrival(self, event: JobArrival) -> None:
         task = self.config.tasks[event.task_index]
+        if self._admission is not None:
+            decision, when = self._admission.decide(event.task_index,
+                                                    self._clock)
+            if decision is Decision.SHED:
+                self.tracer.emit(self._clock, TraceKind.SHED,
+                                 f"{task.name}#{event.jid}",
+                                 detail="UAM max bound exceeded")
+                return
+            if decision is Decision.DEFER:
+                self.tracer.emit(self._clock, TraceKind.DEFER,
+                                 f"{task.name}#{event.jid}",
+                                 detail=f"until={when}")
+                self._queue.push(when, EventPriority.ARRIVAL,
+                                 JobArrival(task_index=event.task_index,
+                                            jid=event.jid,
+                                            injected=event.injected,
+                                            deferrals=event.deferrals + 1))
+                return
         job = Job(task=task, jid=event.jid, release_time=self._clock)
         self._live.append(job)
-        self._queue.push(job.critical_time_abs, EventPriority.TIMER,
-                         CriticalTimeExpiry(job=job))
+        self._arm_critical_timer(job)
         self.tracer.emit(self._clock, TraceKind.ARRIVAL, job.name)
         self._reschedule()
+
+    def _arm_critical_timer(self, job: Job) -> None:
+        """Queue the job's abort timer, subject to timer faults."""
+        when = job.critical_time_abs
+        if self._injector is not None:
+            drop, delay = self._injector.timer_disposition(job)
+            if drop:
+                self.tracer.emit(self._clock, TraceKind.FAULT, job.name,
+                                 detail="critical-time timer dropped")
+                return
+            if delay:
+                self.tracer.emit(self._clock, TraceKind.FAULT, job.name,
+                                 detail=f"critical-time timer +{delay}")
+                when += delay
+        self._queue.push(when, EventPriority.TIMER,
+                         CriticalTimeExpiry(job=job))
 
     def _handle_expiry(self, event: CriticalTimeExpiry) -> None:
         job = event.job
         if not job.is_live:
             return  # job already departed; stale timer
         self._abort(job)
-        extra = self.config.costs.timer_overhead + job.task.abort_handler_time
+        extra = self._cost("timer_overhead") + job.task.abort_handler_time
         self._reschedule(extra_overhead=extra)
 
     def _handle_milestone(self, event: Milestone) -> None:
@@ -202,7 +323,7 @@ class Kernel:
             # End of critical section: unlock request — a scheduling event.
             self._release_lock(job, segment.obj)
             job.finish_segment()
-            cost = self.config.costs.lock_overhead
+            cost = self._cost("lock_overhead")
             self._result.lock_mechanism_time += cost
             self._reschedule(extra_overhead=cost, lock_event=True)
             return
@@ -240,7 +361,7 @@ class Kernel:
         if self.config.sync is SyncMode.LOCK_BASED:
             self._release_lock(job, segment.obj)
             job.finish_segment()
-            cost = self.config.costs.lock_overhead
+            cost = self._cost("lock_overhead")
             self._result.lock_mechanism_time += cost
             self._reschedule(extra_overhead=cost, lock_event=True)
             return
@@ -264,7 +385,7 @@ class Kernel:
             # acquisition is attempted during the dispatch walk.
             self.tracer.emit(self._clock, TraceKind.ACCESS_BEGIN, job.name,
                              detail=str(segment.obj))
-            cost = self.config.costs.lock_overhead
+            cost = self._cost("lock_overhead")
             self._result.lock_mechanism_time += cost
             self._reschedule(extra_overhead=cost, lock_event=True)
             return
@@ -276,12 +397,20 @@ class Kernel:
 
     def _enter_segment(self, job: Job, trace: bool) -> int:
         """Prepare the job's current segment for execution; return extra
-        mechanism delay (CAS attempt cost) to charge before work starts.
+        mechanism delay (CAS attempt cost, retry backoff) to charge
+        before work starts.
 
         Handles the lock-free begin/retry protocol.  Lock-based entry is
         handled in the dispatch walk (acquisition) instead.
         """
         segment = job.current_segment
+        if (self._injector is not None and segment is not None
+                and job.segment_progress == 0 and job.segment_extra == 0):
+            extra = self._injector.overrun_for(job)
+            if extra:
+                job.segment_extra = extra
+                self.tracer.emit(self._clock, TraceKind.FAULT, job.name,
+                                 detail=f"segment overrun +{extra}")
         if not isinstance(segment, ObjectAccess):
             return 0
         sync = self.config.sync
@@ -292,7 +421,7 @@ class Kernel:
             if trace:
                 self.tracer.emit(self._clock, TraceKind.ACCESS_BEGIN,
                                  job.name, detail=str(segment.obj))
-            cost = self.config.costs.cas_overhead
+            cost = self._cost("cas_overhead")
             self._result.lockfree_mechanism_time += cost
             return cost
         if self._objects.must_retry(job):
@@ -301,8 +430,16 @@ class Kernel:
             self._result.lockfree_attempts += 1
             self.tracer.emit(self._clock, TraceKind.RETRY, job.name,
                              detail=f"obj={segment.obj} wasted={wasted}")
-            cost = self.config.costs.cas_overhead
+            if self._monitors is not None:
+                self._monitors.note_retry(self._clock, job)
+            cost = self._cost("cas_overhead")
             self._result.lockfree_mechanism_time += cost + wasted
+            if self.config.retry_guard is not None:
+                backoff = self.config.retry_guard.backoff(
+                    self._objects.retries_of(job))
+                if backoff:
+                    self._report.backoff_time += backoff
+                    cost += backoff
             return cost
         return 0
 
@@ -340,11 +477,29 @@ class Kernel:
                 for victim in victims:
                     if victim.is_live:
                         self._abort(victim)
-                        cost += (self.config.costs.timer_overhead
+                        cost += (self._cost("timer_overhead")
                                  + victim.task.abort_handler_time)
                 continue
             chosen, blocked_any, walk_cost = self._walk(order, n, now)
             cost += walk_cost
+            # Bounded-retry graceful degradation: a job whose lock-free
+            # access would retry past the guard's budget is aborted via
+            # the Section 3.5 abortion model (handler charged, zero
+            # utility) instead of spinning, and the pass reruns.
+            if (chosen is not None
+                    and self.config.retry_guard is not None
+                    and self.config.sync is SyncMode.LOCK_FREE
+                    and self._objects.open_access_of(chosen) is not None
+                    and self._objects.must_retry(chosen)
+                    and self.config.retry_guard.exhausted(
+                        self._objects.retries_of(chosen))):
+                self.tracer.emit(now, TraceKind.FAULT, chosen.name,
+                                 detail="retry budget exhausted: aborting")
+                self._abort(chosen)
+                cost += (self._cost("timer_overhead")
+                         + chosen.task.abort_handler_time)
+                self._report.retry_aborts += 1
+                continue
             # A blocking during the walk can have closed a dependency
             # cycle (with nesting): if nothing is dispatchable, rerun the
             # pass so detection sees the new blocked_on edges.  Bounded:
@@ -354,6 +509,10 @@ class Kernel:
                     and passes <= len(live) + 1):
                 continue
             break
+        if (self._monitors is not None
+                and self.config.sync is SyncMode.LOCK_BASED):
+            self._monitors.audit_locks(
+                now, [j for j in self._live if j.is_live], self._locks)
         self.tracer.emit(now, TraceKind.SCHED_PASS, "",
                          detail=f"n={n} cost={cost}")
         self._result.scheduler_overhead_time += cost
@@ -418,6 +577,14 @@ class Kernel:
             if (self.config.sync is SyncMode.LOCK_FREE
                     and previous.in_access):
                 self._objects.note_preemption(previous)
+                # Adversarial invalidation: the fault plan may spend one
+                # spurious-retry budget unit to poison the preempted
+                # access, forcing a retry at re-dispatch.
+                if (self._injector is not None
+                        and self._injector.spurious_invalidate(
+                            previous, self._objects)):
+                    self.tracer.emit(now, TraceKind.FAULT, previous.name,
+                                     detail="spurious access invalidation")
             self.tracer.emit(now, TraceKind.PREEMPT, previous.name)
         # Kernel work is serialized: overhead charged by an earlier pass
         # at this instant (abort handlers, timer service) delays this one.
@@ -429,7 +596,7 @@ class Kernel:
             return
         start = busy_from + cost
         if switching:
-            start += self.config.costs.context_switch
+            start += self._cost("context_switch")
         self._kernel_free_at = start
         entry_delay = self._enter_segment(chosen, trace=switching)
         chosen.state = JobState.RUNNING
@@ -495,7 +662,18 @@ class Kernel:
         amount = min(time - self._running_since, job.segment_remaining())
         if amount > 0:
             job.advance(amount)
+            if self._monitors is not None:
+                self._monitors.note_execution(
+                    job, self._running_since, self._running_since + amount)
         self._running_since = time
+
+    def _cost(self, name: str) -> int:
+        """One fixed kernel cost charge, fault-jittered when a plan with
+        cost jitter is active."""
+        base = getattr(self.config.costs, name)
+        if self._injector is not None:
+            return self._injector.cost(name, base)
+        return base
 
     def _lock_view(self) -> LockManager | None:
         if self.config.sync is SyncMode.LOCK_BASED:

@@ -109,6 +109,38 @@ class LockManager:
             return None
         return self._owner.get(job.blocked_on)
 
+    def consistency_anomalies(self) -> list[str]:
+        """Self-audit of the manager's internal bookkeeping, for the
+        runtime lock-state invariant monitor.  Returns human-readable
+        anomaly descriptions (empty when consistent): every owned object
+        appears in its owner's held list and vice versa, no job waits on
+        an object it owns, and no completed/aborted job lingers as an
+        owner or waiter."""
+        anomalies: list[str] = []
+        for obj, owner in self._owner.items():
+            if obj not in self._held.get(owner, []):
+                anomalies.append(
+                    f"{owner.name} owns {obj!r} but it is missing from "
+                    f"its held list")
+            if not owner.is_live:
+                anomalies.append(
+                    f"dead job {owner.name} still owns {obj!r}")
+        for job, held in self._held.items():
+            for obj in held:
+                if self._owner.get(obj) is not job:
+                    anomalies.append(
+                        f"{job.name} lists {obj!r} as held but does not "
+                        f"own it")
+        for obj, waiters in self._waiters.items():
+            for waiter in waiters:
+                if self._owner.get(obj) is waiter:
+                    anomalies.append(
+                        f"{waiter.name} waits on {obj!r} it owns")
+                if not waiter.is_live:
+                    anomalies.append(
+                        f"dead job {waiter.name} still waits on {obj!r}")
+        return anomalies
+
     def dependency_edges(self) -> dict[Job, Job]:
         """Direct dependency map: waiter -> owner, for every blocked job.
 

@@ -15,9 +15,13 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.tasks.job import Job, JobState
 from repro.tasks.task import TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.faults.report import DegradationReport
 
 
 @dataclass(frozen=True)
@@ -89,6 +93,11 @@ class SimulationResult:
     lockfree_access_commits: int = 0
     #: Total lock-free attempts (commits + retries).
     lockfree_attempts: int = 0
+    # --- fault injection / graceful degradation ---------------------------
+    #: Structured degradation report: injected faults, shed/deferred jobs,
+    #: retry-guard aborts, invariant-monitor findings.  None when the run
+    #: used no fault plan, guard, or monitors.
+    degradation: "DegradationReport | None" = None
 
     # ------------------------------------------------------------------
     # Paper metrics

@@ -55,6 +55,9 @@ class _OpenAccess:
     kind: AccessKind
     write_version_seen: int
     any_version_seen: int
+    #: Retries of *this* access so far (bounded-retry guards key off this,
+    #: not the job's cumulative count).
+    retries: int = 0
 
 
 class LockFreeObjectTable:
@@ -136,10 +139,21 @@ class LockFreeObjectTable:
         self.total_retries += 1
         open_access = self._open.get(job)
         if open_access is not None:
+            open_access.retries += 1
             # Re-snapshot: the retry restarts from the current state.
             state = self._state(open_access.obj)
             open_access.write_version_seen = state.write_version
             open_access.any_version_seen = state.any_version
+
+    def invalidate(self, job: Job) -> bool:
+        """Adversarially poison the job's open access so its next
+        re-dispatch retries — the fault layer's spurious-invalidation
+        hook (an interfering commit the version counters never saw).
+        Returns False when the job has no open access."""
+        if job not in self._open:
+            return False
+        job.access_dirty = True
+        return True
 
     # ------------------------------------------------------------------
     # Introspection
@@ -148,6 +162,11 @@ class LockFreeObjectTable:
     def open_access_of(self, job: Job) -> ObjectId | None:
         open_access = self._open.get(job)
         return None if open_access is None else open_access.obj
+
+    def retries_of(self, job: Job) -> int:
+        """Retries of the job's currently open access (0 if none)."""
+        open_access = self._open.get(job)
+        return 0 if open_access is None else open_access.retries
 
     def commits_on(self, obj: ObjectId) -> int:
         return self._state(obj).commits

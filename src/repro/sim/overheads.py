@@ -129,6 +129,16 @@ class KernelCosts:
                    timer_overhead=0)
 
 
+def jittered_cost(base: int, rng, magnitude: float) -> int:
+    """Multiplicatively perturb one fixed cost charge by up to
+    ±``magnitude`` (uniform), clamped non-negative.  Used by the fault
+    layer's cost-model jitter; the draw comes from the caller's seeded
+    stream so runs replay deterministically."""
+    if magnitude <= 0:
+        return base
+    return max(0, round(base * (1.0 + rng.uniform(-magnitude, magnitude))))
+
+
 # Default scheduler cost constants.  ``unit`` values are in ticks per
 # asymptotic unit and were calibrated against Figure 9's knees: with 10
 # tasks, one lock-based RUA pass costs ~ 36 µs, one lock-free RUA pass

@@ -28,6 +28,10 @@ class TraceKind(enum.Enum):
     ABORT = "abort"
     SCHED_PASS = "sched_pass"
     IDLE = "idle"
+    # Fault-injection / graceful-degradation events.
+    FAULT = "fault"          # an injected fault landed
+    SHED = "shed"            # admission guard rejected an arrival
+    DEFER = "defer"          # admission guard pushed an arrival back
 
 
 @dataclass(frozen=True)

@@ -43,6 +43,10 @@ class Job:
     held_locks: set = field(default_factory=set)  # all locks held (nesting)
     blocked_on: int | str | None = None      # object we wait for
     access_dirty: bool = False    # lock-free access must restart on resume
+    #: Fault-injected execution overrun of the current segment: extra
+    #: ticks beyond the declared WCET that must execute before the
+    #: segment boundary.  Reset when the segment finishes.
+    segment_extra: int = 0
     # --- statistics -------------------------------------------------------
     retries: int = 0
     blockings: int = 0
@@ -85,7 +89,10 @@ class Job:
         segment = self.current_segment
         if segment is None:
             return 0
-        remaining = segment.duration - self.segment_progress
+        # Clamped at zero: with an injected overrun the progress can
+        # legitimately exceed the declared duration — the scheduler still
+        # sees the *declared* demand, which is the point of the fault.
+        remaining = max(0, segment.duration - self.segment_progress)
         for later in self.task.body[self.segment_index + 1:]:
             remaining += later.duration
         return remaining
@@ -102,10 +109,11 @@ class Job:
         segment = self.current_segment
         if segment is None:
             raise RuntimeError(f"{self.name}: advancing a finished job")
-        if self.segment_progress + amount > segment.duration:
+        if self.segment_progress + amount > segment.duration + self.segment_extra:
             raise RuntimeError(
                 f"{self.name}: advance {amount} overruns segment "
-                f"({self.segment_progress}/{segment.duration})"
+                f"({self.segment_progress}/{segment.duration}"
+                f"+{self.segment_extra})"
             )
         self.segment_progress += amount
 
@@ -113,7 +121,7 @@ class Job:
         segment = self.current_segment
         if segment is None:
             return 0
-        return segment.duration - self.segment_progress
+        return segment.duration + self.segment_extra - self.segment_progress
 
     def finish_segment(self) -> None:
         """Move past the current segment."""
@@ -124,6 +132,7 @@ class Job:
             )
         self.segment_index += 1
         self.segment_progress = 0
+        self.segment_extra = 0
         self.access_dirty = False
 
     def restart_access(self) -> int:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.arrivals import (
+    OnlineWindowCounter,
     UAMSpec,
     check_uam,
     max_arrivals_in_any_window,
@@ -83,3 +84,62 @@ class TestCheckUAM:
         spec = UAMSpec(0, 1, 10)
         violation = check_uam([0, 1], spec)[0]
         assert "max" in str(violation)
+
+
+class TestOnlineWindowCounter:
+    def test_counts_half_open_window(self):
+        counter = OnlineWindowCounter(window=10, limit=3)
+        for t in (0, 4, 9):
+            counter.admit(t)
+        # (t-10, t]: the t=0 admission leaves the window exactly at t=10.
+        assert counter.count_at(9) == 3
+        assert counter.count_at(10) == 2
+
+    def test_would_conform_tracks_limit(self):
+        counter = OnlineWindowCounter(window=10, limit=2)
+        assert counter.would_conform(0)
+        counter.admit(0)
+        counter.admit(1)
+        assert not counter.would_conform(5)
+        assert counter.would_conform(10)    # t=0 has left the window
+
+    def test_earliest_admissible(self):
+        counter = OnlineWindowCounter(window=10, limit=2)
+        counter.admit(0)
+        counter.admit(4)
+        # The 2nd-most-recent admission (t=0) blocks until t=10.
+        assert counter.earliest_admissible(5) == 10
+        assert counter.earliest_admissible(10) == 10
+        assert counter.earliest_admissible(25) == 25
+
+    def test_admissions_must_be_non_decreasing(self):
+        counter = OnlineWindowCounter(window=10, limit=2)
+        counter.admit(5)
+        counter.admit(5)
+        with pytest.raises(ValueError):
+            counter.admit(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineWindowCounter(window=0, limit=1)
+        with pytest.raises(ValueError):
+            OnlineWindowCounter(window=10, limit=0)
+
+    def test_greedy_admission_matches_offline_validator(self):
+        import random as _random
+
+        rng = _random.Random(2)
+        spec = UAMSpec(0, 3, 50)
+        counter = OnlineWindowCounter(window=spec.window,
+                                      limit=spec.max_arrivals)
+        t = 0
+        for _ in range(200):
+            t += rng.randrange(0, 12)
+            if counter.would_conform(t):
+                counter.admit(t)
+        admitted = list(counter.admitted_times)
+        # The online filter yields exactly what check_uam accepts.
+        assert check_uam(admitted, spec) == []
+        # And it is maximal: every admission instant was saturating or
+        # legal, so re-checking each prefix finds no slack violation.
+        assert max_arrivals_in_any_window(admitted, spec.window) == 3

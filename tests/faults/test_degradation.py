@@ -1,0 +1,103 @@
+"""Tests for the graceful-degradation policies (admission + retries)."""
+
+import pytest
+
+from repro.arrivals.validate import check_uam
+from repro.faults.degradation import (
+    AdmissionGuard,
+    AdmissionPolicy,
+    Decision,
+    RetryGuard,
+    ShedMode,
+)
+from repro.faults.report import DegradationReport
+from tests.helpers import simple_task
+
+
+def _guard(mode: ShedMode, window_us: int = 10_000):
+    task = simple_task("T", critical_us=1000, compute_us=100,
+                       window_us=window_us)
+    report = DegradationReport()
+    return task, report, AdmissionGuard([task], AdmissionPolicy(mode),
+                                        report)
+
+
+class TestShed:
+    def test_conforming_arrivals_admitted(self):
+        task, report, guard = _guard(ShedMode.SHED)
+        window = task.arrival.window
+        for k in range(3):
+            decision, when = guard.decide(0, k * window)
+            assert decision is Decision.ADMIT and when == k * window
+        assert report.shed_jobs == 0
+
+    def test_out_of_spec_arrival_shed(self):
+        task, report, guard = _guard(ShedMode.SHED)
+        assert guard.decide(0, 0)[0] is Decision.ADMIT
+        decision, _ = guard.decide(0, task.arrival.window // 2)
+        assert decision is Decision.SHED
+        assert report.shed_jobs == 1
+        # The shed arrival leaves no trace in the admitted sequence.
+        assert guard.admitted_times(0) == (0,)
+
+    def test_admitted_sequence_is_uam_conformant(self):
+        task, _, guard = _guard(ShedMode.SHED)
+        window = task.arrival.window
+        # An adversarial dense arrival stream ...
+        for t in range(0, 3 * window, window // 7):
+            guard.decide(0, t)
+        # ... yields an admitted trace the offline validator accepts.
+        admitted = list(guard.admitted_times(0))
+        assert len(admitted) >= 3
+        assert check_uam(admitted, task.arrival) == []
+
+
+class TestDefer:
+    def test_defer_returns_earliest_conforming_instant(self):
+        task, report, guard = _guard(ShedMode.DEFER)
+        window = task.arrival.window
+        assert guard.decide(0, 0)[0] is Decision.ADMIT
+        decision, when = guard.decide(0, window // 2)
+        assert decision is Decision.DEFER
+        assert when == window          # the t=0 admission leaves the window
+        assert report.deferred_jobs == 1
+        assert report.deferred_delay_total == window - window // 2
+        # Re-submitted at the suggested instant, it is admitted.
+        assert guard.decide(0, when)[0] is Decision.ADMIT
+
+    def test_deferrals_make_progress(self):
+        task, _, guard = _guard(ShedMode.DEFER)
+        window = task.arrival.window
+        guard.decide(0, 0)
+        _, first = guard.decide(0, 10)
+        assert first > 10
+        guard.decide(0, first)        # admitted
+        _, second = guard.decide(0, first)
+        assert second > first          # strictly later each round
+
+
+class TestRetryGuard:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryGuard(max_retries=0)
+        with pytest.raises(ValueError):
+            RetryGuard(max_retries=1, backoff_base=-1)
+        with pytest.raises(ValueError):
+            RetryGuard(max_retries=1, backoff_factor=0.5)
+
+    def test_exhaustion_boundary(self):
+        guard = RetryGuard(max_retries=3)
+        assert not guard.exhausted(2)
+        assert guard.exhausted(3)
+        assert guard.exhausted(4)
+
+    def test_backoff_schedule(self):
+        guard = RetryGuard(max_retries=5, backoff_base=10,
+                           backoff_factor=2.0)
+        assert [guard.backoff(j) for j in (1, 2, 3)] == [10, 20, 40]
+        with pytest.raises(ValueError):
+            guard.backoff(0)
+
+    def test_zero_base_means_no_backoff(self):
+        guard = RetryGuard(max_retries=5)
+        assert guard.backoff(1) == 0 and guard.backoff(7) == 0

@@ -1,0 +1,45 @@
+"""Smoke tests for the CML-under-faults degradation campaign."""
+
+from repro.experiments.faults import cml_under_faults
+from repro.units import MS
+
+
+class TestCampaign:
+    def test_small_campaign_shape_and_degradation(self):
+        campaign = cml_under_faults(burst_levels=(0, 2), repeats=1,
+                                    horizon=20 * MS)
+        figure = campaign.figure
+        assert [s.label for s in figure.series] == [
+            "AUR shed on", "AUR shed off", "violations (shed off)"]
+        assert sorted(campaign.reports) == [0, 2]
+        # Level 0 is the fault-free control.
+        for guarded, unguarded in campaign.reports[0]:
+            assert guarded.faults_injected == 0
+            assert unguarded.faults_injected == 0
+        # Level 2 injects bursts; the guard sheds every out-of-spec one.
+        level2 = campaign.reports[2]
+        assert sum(g.injected_arrivals for g, _ in level2) > 0
+        assert sum(g.shed_jobs for g, _ in level2) > 0
+        assert all(u.shed_jobs == 0 for _, u in level2)
+
+    def test_shedding_never_hurts_utility(self):
+        campaign = cml_under_faults(burst_levels=(0, 4), repeats=1,
+                                    horizon=20 * MS)
+        shed_on, shed_off, _ = campaign.figure.series
+        for on, off in zip(shed_on.estimates, shed_off.estimates):
+            assert on.mean >= off.mean - 1e-9
+
+    def test_render_includes_per_level_lines(self):
+        campaign = cml_under_faults(burst_levels=(0,), repeats=1,
+                                    horizon=10 * MS)
+        text = campaign.render()
+        assert "per-level degradation" in text
+        assert "bursts/task=0" in text
+
+    def test_campaign_is_deterministic(self):
+        first = cml_under_faults(burst_levels=(2,), repeats=1,
+                                 horizon=15 * MS)
+        second = cml_under_faults(burst_levels=(2,), repeats=1,
+                                  horizon=15 * MS)
+        assert first.render() == second.render()
+        assert first.reports == second.reports

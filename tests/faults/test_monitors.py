@@ -1,0 +1,127 @@
+"""Tests for the runtime invariant monitors.
+
+The load-bearing property is the *absence of false positives*: a
+fault-free run of the paper's own evaluation workloads must report zero
+violations, otherwise every degradation report from a faulted run is
+suspect.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.retry_bound import retry_bound_for_taskset
+from repro.experiments.runner import run_once
+from repro.experiments.workloads import paper_taskset
+from repro.faults.monitors import MonitorSuite
+from repro.faults.report import DegradationReport
+from repro.sim.locks import LockManager
+from repro.tasks.job import Job, JobState
+from repro.units import MS
+from tests.helpers import simple_task
+
+
+class TestNoFalsePositives:
+    """Fig 9–13-style workloads, fault-free, monitors on: zero findings."""
+
+    @pytest.mark.parametrize("sync", ["lockfree", "lockbased"])
+    @pytest.mark.parametrize("tuf_class", ["step", "hetero"])
+    @pytest.mark.parametrize("load", [0.4, 1.1])
+    def test_paper_workloads_report_clean(self, sync, tuf_class, load):
+        rng = random.Random(3)
+        tasks = paper_taskset(rng, n_tasks=6, accesses_per_job=2,
+                              tuf_class=tuf_class, target_load=load)
+        result = run_once(tasks, sync, horizon=30 * MS,
+                          rng=random.Random(4), monitors=True)
+        report = result.degradation
+        assert report is not None
+        assert report.ok, report.summary()
+        assert report.faults_injected == 0
+
+
+class TestUnits:
+    def _suite(self, tasks=None):
+        tasks = tasks or [simple_task("T", critical_us=1000,
+                                      compute_us=100)]
+        report = DegradationReport()
+        return tasks, report, MonitorSuite(tasks, report)
+
+    def test_clock_monotonicity(self):
+        _, report, suite = self._suite()
+        suite.note_clock(5)
+        suite.note_clock(5)       # equal is fine (simultaneous events)
+        assert report.ok
+        suite.note_clock(3)
+        assert [v.monitor for v in report.violations] == ["clock"]
+
+    def test_retry_bound_violation_and_dedup(self):
+        tasks, report, suite = self._suite()
+        job = Job(task=tasks[0], jid=0, release_time=0)
+        bound = retry_bound_for_taskset(tasks, 0)
+        job.retries = bound
+        suite.note_retry(10, job)
+        assert report.ok                      # at the bound is legal
+        job.retries = bound + 1
+        suite.note_retry(11, job)
+        suite.note_retry(12, job)             # same job: flagged once
+        violations = report.violations_of("retry-bound")
+        assert len(violations) == 1
+        assert str(bound) in violations[0].detail
+
+    def test_abort_point_violation(self):
+        tasks, report, suite = self._suite()
+        job = Job(task=tasks[0], jid=0, release_time=0)
+        crit = job.critical_time_abs
+        suite.note_execution(job, 0, crit)    # up to the edge is legal
+        assert report.ok
+        suite.note_execution(job, crit, crit + 1)
+        assert report.violations_of("abort-point")
+
+    def test_lock_state_mismatch(self):
+        tasks, report, suite = self._suite()
+        job = Job(task=tasks[0], jid=0, release_time=0)
+        locks = LockManager()
+        assert locks.try_acquire(job, "o")
+        # The kernel would mirror the acquisition into job.held_locks;
+        # leaving it empty is exactly the inconsistency to catch.
+        suite.audit_locks(5, [job], locks)
+        assert report.violations_of("lock-state")
+
+    def test_consistent_lock_state_is_clean(self):
+        tasks, report, suite = self._suite()
+        job = Job(task=tasks[0], jid=0, release_time=0)
+        locks = LockManager()
+        assert locks.try_acquire(job, "o")
+        job.held_locks.add("o")
+        job.holds_lock = "o"
+        suite.audit_locks(5, [job], locks)
+        assert report.ok
+
+    def test_blocked_without_blocked_on_is_flagged(self):
+        tasks, report, suite = self._suite()
+        job = Job(task=tasks[0], jid=0, release_time=0,
+                  state=JobState.BLOCKED)
+        suite.audit_locks(5, [job], LockManager())
+        violations = report.violations_of("lock-state")
+        assert any("no blocked_on" in v.detail for v in violations)
+
+
+class TestReport:
+    def test_summary_mentions_everything(self):
+        report = DegradationReport(injected_arrivals=4, shed_jobs=2,
+                                   retry_aborts=1)
+        text = report.summary()
+        assert "4 burst arrivals" in text
+        assert "2 shed" in text
+        assert "1 retry-guard aborts" in text
+        assert "all hold" in text
+
+    def test_summary_caps_violation_listing(self):
+        from repro.faults.report import InvariantViolation
+        report = DegradationReport()
+        for k in range(14):
+            report.record(InvariantViolation(time=k, monitor="clock",
+                                             job=f"J{k}"))
+        text = report.summary()
+        assert "14 violated" in text
+        assert "... and 4 more" in text

@@ -1,0 +1,108 @@
+"""Tests for fault plans: validation and seeded generation."""
+
+import pytest
+
+from repro.faults.plan import (
+    ArrivalBurst,
+    CostJitter,
+    FaultPlan,
+    SegmentOverrun,
+    SpuriousRetry,
+    TimerFault,
+)
+from repro.units import MS
+
+
+class TestValidation:
+    def test_overrun_requires_positive_extra(self):
+        with pytest.raises(ValueError):
+            SegmentOverrun(task="T", extra=0)
+
+    def test_burst_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            ArrivalBurst(task_index=0, time=-1)
+        with pytest.raises(ValueError):
+            ArrivalBurst(task_index=0, time=5, count=0)
+
+    def test_spurious_retry_requires_budget(self):
+        with pytest.raises(ValueError):
+            SpuriousRetry(times=0)
+
+    def test_timer_fault_must_drop_or_delay(self):
+        with pytest.raises(ValueError):
+            TimerFault(task="T")
+        with pytest.raises(ValueError):
+            TimerFault(task="T", delay=-1)
+        TimerFault(task="T", drop=True)
+        TimerFault(task="T", delay=10)
+
+    def test_jitter_magnitude_range(self):
+        with pytest.raises(ValueError):
+            CostJitter(magnitude=0.0)
+        with pytest.raises(ValueError):
+            CostJitter(magnitude=1.5)
+        CostJitter(magnitude=1.0)
+
+
+class TestMatching:
+    def test_overrun_wildcards(self):
+        spec = SegmentOverrun(task="T", extra=5)
+        assert spec.matches("T", jid=3, segment_index=1)
+        assert not spec.matches("U", jid=3, segment_index=1)
+        pinned = SegmentOverrun(task="T", extra=5, jid=1, segment_index=0)
+        assert pinned.matches("T", 1, 0)
+        assert not pinned.matches("T", 2, 0)
+        assert not pinned.matches("T", 1, 1)
+
+    def test_spurious_retry_wildcards(self):
+        assert SpuriousRetry(times=1).matches("any", obj=7)
+        assert SpuriousRetry(times=1, task="T").matches("T", obj=7)
+        assert not SpuriousRetry(times=1, obj=3).matches("T", obj=7)
+
+    def test_timer_fault_matching(self):
+        fault = TimerFault(task="T", drop=True)
+        assert fault.matches("T", jid=0) and fault.matches("T", jid=9)
+        assert not fault.matches("U", jid=0)
+        assert not TimerFault(task="T", jid=1, drop=True).matches("T", 0)
+
+
+class TestPlan:
+    def test_empty(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(bursts=(ArrivalBurst(0, 1),)).empty
+        assert not FaultPlan(jitter=CostJitter(0.1)).empty
+
+    def test_burst_storm_is_deterministic_in_seed(self):
+        a = FaultPlan.burst_storm(9, n_tasks=4, horizon=100 * MS,
+                                  bursts_per_task=3)
+        b = FaultPlan.burst_storm(9, n_tasks=4, horizon=100 * MS,
+                                  bursts_per_task=3)
+        c = FaultPlan.burst_storm(10, n_tasks=4, horizon=100 * MS,
+                                  bursts_per_task=3)
+        assert a == b
+        assert a != c
+
+    def test_burst_storm_shape(self):
+        horizon = 100 * MS
+        plan = FaultPlan.burst_storm(1, n_tasks=3, horizon=horizon,
+                                     bursts_per_task=2, burst_size=4)
+        assert len(plan.bursts) == 6
+        assert all(b.count == 4 for b in plan.bursts)
+        # Sorted, and landing in the middle 80 % of the horizon.
+        keys = [(b.time, b.task_index) for b in plan.bursts]
+        assert keys == sorted(keys)
+        assert all(horizon // 10 <= b.time < 9 * horizon // 10
+                   for b in plan.bursts)
+        assert {b.task_index for b in plan.bursts} == {0, 1, 2}
+
+    def test_burst_storm_rejects_empty_taskset(self):
+        with pytest.raises(ValueError):
+            FaultPlan.burst_storm(0, n_tasks=0, horizon=MS,
+                                  bursts_per_task=1)
+
+    def test_retry_storm_variants(self):
+        broad = FaultPlan.retry_storm(0, times_per_task=3)
+        assert broad.spurious_retries == (SpuriousRetry(times=3),)
+        named = FaultPlan.retry_storm(0, times_per_task=2,
+                                      task_names=["A", "B"])
+        assert [s.task for s in named.spurious_retries] == ["A", "B"]

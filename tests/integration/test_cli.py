@@ -47,6 +47,29 @@ class TestRetryBound:
         assert "bound holds" in out
 
 
+class TestFaults:
+    def test_small_campaign(self, capsys):
+        assert main(["faults", "--bursts", "0,2", "--repeats", "1",
+                     "--horizon-ms", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "CML under faults" in out
+        assert "per-level degradation" in out
+
+    def test_report_written_to_file(self, capsys, tmp_path):
+        out_file = tmp_path / "degradation.txt"
+        assert main(["faults", "--bursts", "2", "--repeats", "1",
+                     "--horizon-ms", "10", "--out", str(out_file)]) == 0
+        assert "bursts/task=2" in out_file.read_text()
+
+    def test_bad_burst_list_rejected(self, capsys):
+        assert main(["faults", "--bursts", "two"]) == 2
+        assert main(["faults", "--bursts", ","]) == 2
+        assert main(["faults", "--bursts=-3,2"]) == 2
+        err = capsys.readouterr().err
+        assert "--bursts" in err
+        assert "levels must be >= 0" in err
+
+
 class TestSojourn:
     def test_lockfree_wins_with_small_s(self, capsys):
         assert main(["sojourn", "--r", "30", "--s", "2"]) == 0

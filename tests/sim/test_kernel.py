@@ -240,8 +240,9 @@ class TestHorizon:
     def test_arrivals_beyond_horizon_dropped(self):
         task = simple_task("T", critical_us=1000, compute_us=10,
                            window_us=2000)
-        _, result = run_scenario([task], [[0, 2000, 4000, 999_000]],
-                                 horizon_us=5000)
+        with pytest.warns(RuntimeWarning, match="beyond the horizon"):
+            _, result = run_scenario([task], [[0, 2000, 4000, 999_000]],
+                                     horizon_us=5000)
         assert len(result.records) == 3
 
 
@@ -280,12 +281,22 @@ class TestConfigValidation:
 
     def test_kernel_runs_once(self):
         task = simple_task("T", critical_us=1000, compute_us=10)
-        kernel, _ = run_scenario([task], [[0]])
-        with pytest.raises(RuntimeError, match="exactly once"):
+        kernel, first = run_scenario([task], [[0]])
+        # The error names the original horizon, and the rejection leaves
+        # the completed run's result untouched.
+        with pytest.raises(RuntimeError,
+                           match=r"exactly once.*horizon=100000000"):
             kernel.run()
+        assert len(first.records) == 1
 
     def test_unsorted_trace_rejected(self):
         task = simple_task("T", critical_us=1000, compute_us=10,
                            window_us=10_000)
-        with pytest.raises(ValueError, match="not sorted"):
+        with pytest.raises(ValueError, match="task 0 is not sorted"):
             run_scenario([task], [[5000, 0]])
+
+    def test_negative_release_rejected(self):
+        task = simple_task("T", critical_us=1000, compute_us=10,
+                           window_us=10_000)
+        with pytest.raises(ValueError, match="negative release"):
+            run_scenario([task], [[-3]])
