@@ -9,14 +9,15 @@ flat at a few microseconds.
 from repro.experiments.figures import fig8
 from repro.units import MS
 
-from conftest import run_once_benchmark, save_figure
+from conftest import campaign_config, run_once_benchmark, save_figure
 
 
 def test_fig8_access_times(benchmark):
     result = run_once_benchmark(
         benchmark,
         lambda: fig8(repeats=3, horizon=100 * MS,
-                     objects=tuple(range(1, 11))),
+                     objects=tuple(range(1, 11)),
+                     campaign=campaign_config("fig08_access_times")),
     )
     save_figure("fig08_access_times", result.render())
     r_series, s_series = result.series

@@ -7,14 +7,15 @@ average execution time; lock-based converges to 1 only near 1 ms.
 
 from repro.experiments.figures import fig9
 
-from conftest import run_once_benchmark, save_figure
+from conftest import campaign_config, run_once_benchmark, save_figure
 
 
 def test_fig9_cml(benchmark):
     result = run_once_benchmark(
         benchmark,
         lambda: fig9(repeats=1, exec_times_us=(10, 30, 100, 300, 1000),
-                     windows_per_run=25, bisect_iterations=5),
+                     windows_per_run=25, bisect_iterations=5,
+                     campaign=campaign_config("fig09_cml")),
     )
     save_figure("fig09_cml", result.render())
     by_label = {s.label: s for s in result.series}

@@ -8,14 +8,15 @@ lock-based degrades as contention grows.
 from repro.experiments.figures import fig10
 from repro.units import MS
 
-from conftest import run_once_benchmark, save_figure
+from conftest import campaign_config, run_once_benchmark, save_figure
 
 
 def test_fig10_underload_step(benchmark):
     result = run_once_benchmark(
         benchmark,
         lambda: fig10(repeats=3, horizon=100 * MS,
-                      objects=tuple(range(1, 11))),
+                      objects=tuple(range(1, 11)),
+                      campaign=campaign_config("fig10_underload_step")),
     )
     save_figure("fig10_underload_step", result.render())
     by_label = {s.label: s for s in result.series}

@@ -9,14 +9,15 @@ time no longer implies full utility).
 from repro.experiments.figures import fig11
 from repro.units import MS
 
-from conftest import run_once_benchmark, save_figure
+from conftest import campaign_config, run_once_benchmark, save_figure
 
 
 def test_fig11_underload_hetero(benchmark):
     result = run_once_benchmark(
         benchmark,
         lambda: fig11(repeats=3, horizon=100 * MS,
-                      objects=tuple(range(1, 11))),
+                      objects=tuple(range(1, 11)),
+                      campaign=campaign_config("fig11_underload_hetero")),
     )
     save_figure("fig11_underload_hetero", result.render())
     by_label = {s.label: s for s in result.series}

@@ -8,14 +8,15 @@ grow; lock-free holds, higher by as much as ~65 % AUR / ~80 % CMR.
 from repro.experiments.figures import fig12
 from repro.units import MS
 
-from conftest import run_once_benchmark, save_figure
+from conftest import campaign_config, run_once_benchmark, save_figure
 
 
 def test_fig12_overload_step(benchmark):
     result = run_once_benchmark(
         benchmark,
         lambda: fig12(repeats=4, horizon=100 * MS,
-                      objects=tuple(range(1, 11))),
+                      objects=tuple(range(1, 11)),
+                      campaign=campaign_config("fig12_overload_step")),
     )
     save_figure("fig12_overload_step", result.render())
     by_label = {s.label: s for s in result.series}

@@ -8,14 +8,15 @@ lock-free holds a wide margin.
 from repro.experiments.figures import fig13
 from repro.units import MS
 
-from conftest import run_once_benchmark, save_figure
+from conftest import campaign_config, run_once_benchmark, save_figure
 
 
 def test_fig13_overload_hetero(benchmark):
     result = run_once_benchmark(
         benchmark,
         lambda: fig13(repeats=4, horizon=100 * MS,
-                      objects=tuple(range(1, 11))),
+                      objects=tuple(range(1, 11)),
+                      campaign=campaign_config("fig13_overload_hetero")),
     )
     save_figure("fig13_overload_hetero", result.render())
     by_label = {s.label: s for s in result.series}

@@ -8,14 +8,15 @@ throughout, lock-based degrading as load/contention grows.
 from repro.experiments.figures import fig14
 from repro.units import MS
 
-from conftest import run_once_benchmark, save_figure
+from conftest import campaign_config, run_once_benchmark, save_figure
 
 
 def test_fig14_readers(benchmark):
     result = run_once_benchmark(
         benchmark,
         lambda: fig14(repeats=3, horizon=100 * MS,
-                      readers=tuple(range(1, 10))),
+                      readers=tuple(range(1, 10)),
+                      campaign=campaign_config("fig14_readers")),
     )
     save_figure("fig14_readers", result.render())
     by_label = {s.label: s for s in result.series}

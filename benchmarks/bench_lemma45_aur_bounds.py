@@ -8,13 +8,14 @@ interval.
 from repro.experiments.figures import lemma45_validation
 from repro.units import MS
 
-from conftest import run_once_benchmark, save_figure
+from conftest import campaign_config, run_once_benchmark, save_figure
 
 
 def test_lemma45_aur_bounds(benchmark):
     result = run_once_benchmark(
         benchmark,
-        lambda: lemma45_validation(repeats=4, horizon=200 * MS),
+        lambda: lemma45_validation(repeats=4, horizon=200 * MS,
+                      campaign=campaign_config("lemma45_aur_bounds")),
     )
     save_figure("lemma45_aur_bounds", result.render())
     # Series arrive in (lower, measured, upper) triples per lemma.

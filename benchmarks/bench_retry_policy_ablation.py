@@ -7,25 +7,23 @@ often, costing some AUR at high load.  This quantifies how much slack the
 conservative analysis leaves on realistic workloads.
 """
 
-import random
-
 from repro.experiments.report import format_scalar_rows
 from repro.experiments.runner import run_many
-from repro.experiments.workloads import interference_taskset
+from repro.experiments.workloads import BuilderSpec
 from repro.sim.objects import RetryPolicy
 from repro.units import MS
 
-from conftest import run_once_benchmark, save_figure
+from conftest import campaign_config, run_once_benchmark, save_figure
 
 
 def _campaign():
-    def build(rng: random.Random):
-        return interference_taskset(rng)
+    build = BuilderSpec.make("interference")
     seeds = [77 + k for k in range(3)]
     out = {}
     for policy in (RetryPolicy.ON_CONFLICT, RetryPolicy.ON_PREEMPTION):
         results = run_many(build, "lockfree", 200 * MS, seeds,
-                           arrival_style="bursty", retry_policy=policy)
+                           arrival_style="bursty", retry_policy=policy,
+                           campaign=campaign_config(f"ablation_retry_{policy.name.lower()}"))
         out[policy] = (
             sum(r.total_retries for r in results) / len(results),
             sum(r.aur for r in results) / len(results),

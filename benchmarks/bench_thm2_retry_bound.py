@@ -11,14 +11,15 @@ from repro.experiments.figures import thm2_validation
 from repro.sim.objects import RetryPolicy
 from repro.units import MS
 
-from conftest import run_once_benchmark, save_figure
+from conftest import campaign_config, run_once_benchmark, save_figure
 
 
 def test_thm2_retry_bound(benchmark):
     result = run_once_benchmark(
         benchmark,
         lambda: thm2_validation(repeats=4, horizon=300 * MS,
-                                retry_policy=RetryPolicy.ON_PREEMPTION),
+                                retry_policy=RetryPolicy.ON_PREEMPTION,
+                                campaign=campaign_config("thm2_retry_bound")),
     )
     save_figure("thm2_retry_bound", result.render())
     measured, bound = result.series

@@ -13,18 +13,23 @@ from repro.analysis.sojourn import compare_sojourn
 from repro.analysis.retry_bound import x_i as compute_x_i
 from repro.experiments.report import format_scalar_rows
 from repro.experiments.runner import run_many
-from repro.experiments.workloads import DEFAULT_ACCESS_DURATION, paper_taskset
+from repro.experiments.workloads import (
+    DEFAULT_ACCESS_DURATION,
+    BuilderSpec,
+    paper_taskset,
+)
 from repro.units import MS
 
-from conftest import run_once_benchmark, save_figure
+from conftest import campaign_config, run_once_benchmark, save_figure
 
 
 def _campaign():
-    def build(rng: random.Random):
-        return paper_taskset(rng, accesses_per_job=6, target_load=0.8)
+    build = BuilderSpec.make("paper", accesses_per_job=6, target_load=0.8)
     seeds = [300 + k for k in range(3)]
-    lockbased = run_many(build, "lockbased", 100 * MS, seeds)
-    lockfree = run_many(build, "lockfree", 100 * MS, seeds)
+    lockbased = run_many(build, "lockbased", 100 * MS, seeds,
+                         campaign=campaign_config("thm3_sojourn_lockbased"))
+    lockfree = run_many(build, "lockfree", 100 * MS, seeds,
+                        campaign=campaign_config("thm3_sojourn_lockfree"))
     r = DEFAULT_ACCESS_DURATION + (
         sum(x.mean_lock_mechanism_per_access or 0 for x in lockbased)
         / len(lockbased))

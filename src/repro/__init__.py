@@ -29,6 +29,21 @@ Quickstart::
 """
 
 from repro._version import __version__
-from repro.api import SimulationSummary, quick_simulation
+from repro.api import (
+    CampaignConfig,
+    CampaignEngine,
+    SimulationSummary,
+    atomic_write,
+    quick_simulation,
+    run_simulations,
+)
 
-__all__ = ["__version__", "quick_simulation", "SimulationSummary"]
+__all__ = [
+    "__version__",
+    "quick_simulation",
+    "run_simulations",
+    "SimulationSummary",
+    "CampaignConfig",
+    "CampaignEngine",
+    "atomic_write",
+]

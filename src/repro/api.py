@@ -4,12 +4,28 @@
 UAM arrival generation, scheduler policy, kernel — for one-call
 experiments.  The experiment harness in :mod:`repro.experiments` uses the
 same building blocks with the paper's exact workload parameters.
+
+The resilient campaign layer is re-exported here for one-stop imports:
+:class:`CampaignConfig` / :class:`CampaignEngine` (crash-isolated
+parallel trials, per-trial timeouts, seeded retry with backoff,
+checkpointed resume) and :func:`atomic_write` (interrupt-safe artifact
+writes).  :func:`run_simulations` is the campaign-aware batch
+counterpart of :func:`quick_simulation`.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+
+from repro.campaign import (           # noqa: F401 - public re-exports
+    CampaignConfig,
+    CampaignEngine,
+    CampaignResult,
+    CampaignStats,
+    TrialFailure,
+    atomic_write,
+)
 
 from repro.arrivals.generators import generator_for
 from repro.core.edf import EDF
@@ -137,3 +153,40 @@ def quick_simulation(n_tasks: int = 5,
     )
     return simulate(tasks, sync=sync, horizon=horizon_us * 1_000,
                     seed=seed + 1, arrival_style=arrival_style)
+
+
+def run_simulations(seeds: list[int],
+                    n_tasks: int = 5,
+                    n_objects: int = 3,
+                    sync: str = "lockfree",
+                    load: float = 0.8,
+                    horizon_us: int = 500_000,
+                    tuf_class: str = "step",
+                    arrival_style: str = "uniform",
+                    campaign: "CampaignConfig | CampaignEngine | None" = None
+                    ) -> list[SimulationSummary]:
+    """Batch counterpart of :func:`quick_simulation`: one seeded run per
+    entry of ``seeds``, optionally routed through the resilient campaign
+    engine (``campaign=CampaignConfig(workers=4, ...)``).  Each trial
+    derives everything from its own seed, so serial and parallel
+    execution return identical summaries; trials that failed terminally
+    under a campaign are dropped from the returned list.
+    """
+    from repro.campaign import as_engine
+
+    engine = as_engine(campaign, tag=f"quick:{sync}")
+    if engine is None:
+        return [
+            quick_simulation(n_tasks=n_tasks, n_objects=n_objects,
+                             sync=sync, load=load, horizon_us=horizon_us,
+                             seed=seed, tuf_class=tuf_class,
+                             arrival_style=arrival_style)
+            for seed in seeds
+        ]
+    batch = engine.map(
+        quick_simulation,
+        [(n_tasks, n_objects, sync, load, horizon_us, seed, tuf_class,
+          arrival_style)
+         for seed in seeds],
+    )
+    return batch.values

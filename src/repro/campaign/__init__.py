@@ -1,0 +1,76 @@
+"""Resilient parallel campaign engine (DESIGN.md §9).
+
+Every experiment entry point — :func:`repro.experiments.runner.run_many`,
+the figure campaigns, the fault campaign, the benchmark harness and the
+CLI — routes its seeded trials through :class:`CampaignEngine`, which
+adds, on top of the plain serial loop:
+
+* **crash isolation** — trials run in worker processes (``workers > 1``);
+  a worker exception, timeout or dead process becomes a structured
+  :class:`TrialFailure` in the campaign result instead of an abort;
+* **per-trial timeouts** with seeded-deterministic retry + exponential
+  backoff and jitter for transient failures;
+* **checkpointed resume** — a write-ahead JSONL journal of completed
+  trials lets an interrupted campaign continue exactly where it died,
+  reproducing the uninterrupted run bit-for-bit because trial RNG
+  streams depend only on ``(base_seed, trial_index)``;
+* **atomic artifacts** — :func:`atomic_write` (temp file + fsync +
+  ``os.replace``) so interrupts never leave truncated outputs.
+
+``workers=1`` with no journal is byte-identical to the pre-engine serial
+code paths; the resilience machinery is pay-for-what-you-use.
+"""
+
+from repro.campaign.chaos import ChaosPlan
+from repro.campaign.engine import CampaignEngine
+from repro.campaign.io import atomic_write
+from repro.campaign.journal import CampaignJournal, JournalError, load_journal
+from repro.campaign.seeding import backoff_delay, derive_seed, derive_seeds
+from repro.campaign.spec import (
+    RETRYABLE_KINDS,
+    CampaignConfig,
+    CampaignResult,
+    CampaignStats,
+    SimulatedWorkerCrash,
+    TransientTrialError,
+    TrialFailure,
+    TrialOutcome,
+    TrialSpec,
+)
+
+
+def as_engine(campaign: "CampaignConfig | CampaignEngine | None",
+              tag: str = "campaign") -> "CampaignEngine | None":
+    """Normalize the ``campaign=`` argument the experiment entry points
+    accept: ``None`` stays ``None`` (plain serial path), a config is
+    wrapped in a fresh engine, an engine is passed through."""
+    if campaign is None or isinstance(campaign, CampaignEngine):
+        return campaign
+    if isinstance(campaign, CampaignConfig):
+        return CampaignEngine(campaign, tag=tag)
+    raise TypeError(
+        f"campaign must be CampaignConfig, CampaignEngine or None, "
+        f"not {type(campaign).__name__}")
+
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignEngine",
+    "CampaignJournal",
+    "CampaignResult",
+    "CampaignStats",
+    "ChaosPlan",
+    "JournalError",
+    "RETRYABLE_KINDS",
+    "SimulatedWorkerCrash",
+    "TransientTrialError",
+    "TrialFailure",
+    "TrialOutcome",
+    "TrialSpec",
+    "as_engine",
+    "atomic_write",
+    "backoff_delay",
+    "derive_seed",
+    "derive_seeds",
+    "load_journal",
+]

@@ -1,0 +1,60 @@
+"""Campaign-layer fault injection.
+
+PR 1 gave the simulated kernel a seeded fault plan; this is the same idea
+one layer up.  A :class:`ChaosPlan` rides inside the (picklable)
+:class:`repro.campaign.spec.CampaignConfig` and fires *inside the trial
+wrapper*, before the real trial function runs:
+
+* ``crash`` — the worker process dies via ``os._exit`` (serially, a
+  :class:`~repro.campaign.spec.SimulatedWorkerCrash` is raised instead,
+  since a real exit would not be isolated);
+* ``hang`` — the wrapper sleeps past the campaign's per-trial timeout;
+* ``transient`` — a :class:`~repro.campaign.spec.TransientTrialError`
+  is raised.
+
+Faults fire only on ``on_attempt`` (default: the first attempt), so a
+retrying engine recovers and the campaign's *results* stay identical to
+a fault-free run — which is exactly the property the integration tests
+assert.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.campaign.spec import SimulatedWorkerCrash, TransientTrialError
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Deterministic campaign-layer faults, keyed by global trial index."""
+
+    crash: tuple[int, ...] = ()
+    hang: tuple[int, ...] = ()
+    transient: tuple[int, ...] = ()
+    hang_seconds: float = 60.0
+    on_attempt: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return not (self.crash or self.hang or self.transient)
+
+    def fire(self, index: int, attempt: int, *, in_worker: bool) -> None:
+        """Inject the planned fault for ``(index, attempt)``, if any."""
+        if attempt != self.on_attempt:
+            return
+        if index in self.crash:
+            if in_worker:
+                os._exit(13)     # simulate a hard worker death
+            raise SimulatedWorkerCrash(
+                f"chaos: injected crash in trial {index}")
+        if index in self.transient:
+            raise TransientTrialError(
+                f"chaos: injected transient failure in trial {index}")
+        if index in self.hang:
+            # Sleep long enough for the engine's timeout to fire; the
+            # trial then completes normally, but its abandoned result is
+            # discarded with the killed worker pool.
+            time.sleep(self.hang_seconds)

@@ -1,0 +1,350 @@
+"""Resilient campaign execution: crash isolation, timeouts, retry, resume.
+
+:class:`CampaignEngine` runs batches of :class:`~repro.campaign.spec.TrialSpec`
+under one :class:`~repro.campaign.spec.CampaignConfig`:
+
+* ``workers=1`` — trials run in-process, in trial order.  With no
+  journal, no chaos and no retries triggered, this is byte-identical to
+  the plain serial loops the experiment modules used before the engine
+  existed (same calls, same RNG consumption).
+* ``workers>1`` — trials run in a ``concurrent.futures``
+  ``ProcessPoolExecutor``.  A worker exception, a dead worker process,
+  or a per-trial wall-clock timeout becomes a structured
+  :class:`~repro.campaign.spec.TrialFailure`; retryable kinds re-enter
+  the queue after a seeded exponential backoff.  A broken or stuck pool
+  is killed and rebuilt; trials that were merely collateral (in flight
+  on a pool another trial broke) are re-queued without being charged an
+  attempt.
+
+Determinism contract: trial functions must derive all randomness from
+their arguments (in practice: from ``(base_seed, trial_index)``).  The
+engine never feeds scheduling state into a trial, so serial, parallel,
+retried and resumed campaigns agree on every successful trial's value.
+
+One engine instance may serve several ``run()``/``map()`` batches (a
+figure sweep issues one batch per x-axis point); trials are numbered
+globally across batches so journals and chaos plans address them
+unambiguously.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from typing import Any, Callable, Sequence
+
+from repro.campaign.journal import CampaignJournal, JournalError, load_journal
+from repro.campaign.seeding import backoff_delay, derive_seed
+from repro.campaign.spec import (
+    RETRYABLE_KINDS,
+    CampaignConfig,
+    CampaignResult,
+    CampaignStats,
+    SimulatedWorkerCrash,
+    TransientTrialError,
+    TrialFailure,
+    TrialOutcome,
+    TrialSpec,
+)
+
+
+def _execute_trial(fn: Callable[..., Any], args: tuple,
+                   kwargs: tuple[tuple[str, Any], ...],
+                   chaos, index: int, attempt: int) -> Any:
+    """Worker-side trial wrapper (module-level, hence picklable)."""
+    if chaos is not None:
+        chaos.fire(index, attempt, in_worker=True)
+    return fn(*args, **dict(kwargs))
+
+
+def _classify(exc: BaseException) -> str:
+    if isinstance(exc, TransientTrialError):
+        return "transient"
+    if isinstance(exc, (SimulatedWorkerCrash, BrokenProcessPool)):
+        return "crash"
+    return "exception"
+
+
+class CampaignEngine:
+    """Executes trials under one campaign policy; accumulates stats."""
+
+    def __init__(self, config: CampaignConfig | None = None, *,
+                 tag: str = "campaign",
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self.config = config or CampaignConfig()
+        self.tag = tag
+        self._clock = clock
+        self._sleep = sleep
+        self._next_index = 0
+        self.outcomes: list[TrialOutcome] = []
+        self._cache: dict[int, Any] = {}
+        if self.config.resume:
+            snapshot = load_journal(self.config.resume)
+            if snapshot.tag and snapshot.tag != tag:
+                raise JournalError(
+                    f"cannot resume: journal is for campaign "
+                    f"{snapshot.tag!r}, this one is {tag!r}")
+            self._cache = dict(snapshot.values)
+        self._journal: CampaignJournal | None = None
+        if self.config.journal:
+            self._journal = CampaignJournal.open(self.config.journal, tag)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Sequence[TrialSpec]) -> CampaignResult:
+        """Execute one batch; returns outcomes in batch order."""
+        base = self._next_index
+        self._next_index += len(specs)
+        if self.config.workers <= 1:
+            outcomes = self._run_serial(specs, base)
+        else:
+            outcomes = self._run_parallel(specs, base)
+        self.outcomes.extend(outcomes)
+        return CampaignResult(outcomes=outcomes)
+
+    def map(self, fn: Callable[..., Any],
+            arg_tuples: Sequence[tuple], **kwargs: Any) -> CampaignResult:
+        """Convenience: one trial per argument tuple."""
+        specs = [
+            TrialSpec(index=i, fn=fn, args=tuple(args),
+                      kwargs=tuple(sorted(kwargs.items())))
+            for i, args in enumerate(arg_tuples)
+        ]
+        return self.run(specs)
+
+    def stats(self) -> CampaignStats:
+        by_kind: dict[str, int] = {}
+        for outcome in self.outcomes:
+            for failure in outcome.failures:
+                by_kind[failure.kind] = by_kind.get(failure.kind, 0) + 1
+        return CampaignStats(
+            trials=len(self.outcomes),
+            completed=sum(1 for o in self.outcomes if o.ok),
+            failed_trials=sum(1 for o in self.outcomes if not o.ok),
+            from_journal=sum(1 for o in self.outcomes if o.from_journal),
+            attempt_failures=tuple(sorted(by_kind.items())),
+            workers=self.config.workers,
+        )
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    def __enter__(self) -> "CampaignEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _cached_outcome(self, gidx: int) -> TrialOutcome | None:
+        if gidx not in self._cache:
+            return None
+        return TrialOutcome(index=gidx, ok=True, value=self._cache[gidx],
+                            attempts=0, from_journal=True)
+
+    def _checkpoint(self, outcome: TrialOutcome) -> None:
+        if self._journal is not None and not outcome.from_journal:
+            self._journal.record(outcome)
+
+    def _backoff(self, gidx: int, attempt: int) -> float:
+        cfg = self.config
+        return backoff_delay(
+            attempt,
+            base=cfg.backoff_base, factor=cfg.backoff_factor,
+            cap=cfg.backoff_cap, jitter=cfg.backoff_jitter,
+            seed=derive_seed(cfg.retry_seed, gidx, f"backoff:{attempt}"),
+        )
+
+    def _may_retry(self, kind: str, attempts: int) -> bool:
+        return kind in RETRYABLE_KINDS and attempts < self.config.max_attempts
+
+    # ------------------------------------------------------------------
+    # Serial execution
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, specs: Sequence[TrialSpec],
+                    base: int) -> list[TrialOutcome]:
+        outcomes = []
+        for position, spec in enumerate(specs):
+            gidx = base + position
+            cached = self._cached_outcome(gidx)
+            if cached is not None:
+                outcomes.append(cached)
+                continue
+            outcome = self._run_one_serial(spec, gidx)
+            self._checkpoint(outcome)
+            outcomes.append(outcome)
+        return outcomes
+
+    def _run_one_serial(self, spec: TrialSpec, gidx: int) -> TrialOutcome:
+        failures: list[TrialFailure] = []
+        attempt = 0
+        while True:
+            try:
+                if self.config.chaos is not None:
+                    self.config.chaos.fire(gidx, attempt, in_worker=False)
+                value = spec.call()
+                return TrialOutcome(index=gidx, ok=True, value=value,
+                                    attempts=attempt + 1, failures=failures)
+            except Exception as exc:
+                kind = _classify(exc)
+                failures.append(TrialFailure(index=gidx, attempt=attempt,
+                                             kind=kind, message=str(exc)))
+                attempt += 1
+                if not self._may_retry(kind, attempt):
+                    return TrialOutcome(index=gidx, ok=False,
+                                        attempts=attempt, failures=failures)
+                self._sleep(self._backoff(gidx, attempt - 1))
+
+    # ------------------------------------------------------------------
+    # Parallel execution
+    # ------------------------------------------------------------------
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        # Prefer fork where available: trial functions defined in test
+        # modules and dynamically-built specs stay picklable-by-reference
+        # and workers skip re-import.  Falls back to the platform default.
+        try:
+            context = get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = get_context()
+        return ProcessPoolExecutor(max_workers=self.config.workers,
+                                   mp_context=context)
+
+    @staticmethod
+    def _kill_executor(executor: ProcessPoolExecutor) -> None:
+        """Terminate a pool whose workers may be stuck or dead.  Workers
+        are killed first so ``shutdown`` cannot block on a hung trial."""
+        for process in list(getattr(executor, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except (OSError, AttributeError):  # pragma: no cover
+                pass
+        executor.shutdown(wait=True, cancel_futures=True)
+
+    def _run_parallel(self, specs: Sequence[TrialSpec],
+                      base: int) -> list[TrialOutcome]:
+        chaos = self.config.chaos
+        timeout = self.config.timeout
+        done: dict[int, TrialOutcome] = {}
+        attempts: dict[int, int] = {}
+        failures: dict[int, list[TrialFailure]] = {}
+        by_index: dict[int, TrialSpec] = {}
+        ready: list[tuple[float, int]] = []      # (not_before, gidx)
+        for position, spec in enumerate(specs):
+            gidx = base + position
+            by_index[gidx] = spec
+            cached = self._cached_outcome(gidx)
+            if cached is not None:
+                done[gidx] = cached
+            else:
+                attempts[gidx] = 0
+                failures[gidx] = []
+                ready.append((0.0, gidx))
+        ready.sort()
+
+        executor: ProcessPoolExecutor | None = None
+        running: dict[Future, tuple[int, float | None]] = {}
+
+        def finalize(gidx: int, ok: bool, value: Any = None) -> None:
+            outcome = TrialOutcome(index=gidx, ok=ok, value=value,
+                                   attempts=attempts[gidx],
+                                   failures=failures[gidx])
+            self._checkpoint(outcome)
+            done[gidx] = outcome
+
+        def fail(gidx: int, kind: str, message: str) -> None:
+            attempt = attempts[gidx]
+            failures[gidx].append(TrialFailure(index=gidx, attempt=attempt,
+                                               kind=kind, message=message))
+            attempts[gidx] = attempt + 1
+            if self._may_retry(kind, attempts[gidx]):
+                delay = self._backoff(gidx, attempt)
+                ready.append((self._clock() + delay, gidx))
+                ready.sort()
+            else:
+                finalize(gidx, ok=False)
+
+        def requeue_collateral() -> None:
+            """Re-queue in-flight trials after a pool kill, uncharged."""
+            for future, (gidx, _) in list(running.items()):
+                if gidx in done or any(g == gidx for _, g in ready):
+                    continue
+                ready.append((self._clock(), gidx))
+            ready.sort()
+            running.clear()
+
+        try:
+            while ready or running:
+                now = self._clock()
+                # Submit every due trial for which a worker slot is free.
+                while ready and ready[0][0] <= now and \
+                        len(running) < self.config.workers:
+                    _, gidx = ready.pop(0)
+                    if executor is None:
+                        executor = self._new_executor()
+                    spec = by_index[gidx]
+                    future = executor.submit(
+                        _execute_trial, spec.fn, spec.args, spec.kwargs,
+                        chaos, gidx, attempts[gidx])
+                    deadline = None if timeout is None else now + timeout
+                    running[future] = (gidx, deadline)
+                if not running:
+                    # Everything pending is backing off; sleep it out.
+                    if ready:
+                        self._sleep(max(0.0, ready[0][0] - self._clock()))
+                    continue
+
+                waits = [deadline - now
+                         for _, deadline in running.values()
+                         if deadline is not None]
+                if len(running) < self.config.workers:
+                    waits += [not_before - now for not_before, _ in ready]
+                wait_timeout = max(0.0, min(waits)) if waits else None
+                completed = wait(running.keys(), timeout=wait_timeout,
+                                 return_when=FIRST_COMPLETED).done
+
+                pool_broken = False
+                for future in completed:
+                    gidx, _ = running.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        attempts[gidx] += 1
+                        finalize(gidx, ok=True, value=future.result())
+                    else:
+                        kind = _classify(exc)
+                        if kind == "crash":
+                            pool_broken = True
+                        fail(gidx, kind, f"{type(exc).__name__}: {exc}")
+
+                now = self._clock()
+                expired = [future for future, (_, deadline) in running.items()
+                           if deadline is not None and now >= deadline]
+                for future in expired:
+                    gidx, _ = running.pop(future)
+                    fail(gidx, "timeout",
+                         f"trial exceeded {timeout:.3g}s wall-clock budget")
+
+                if pool_broken or expired:
+                    # The pool has dead or stuck workers; kill it and let
+                    # the still-healthy in-flight trials re-run free of
+                    # charge on a fresh pool.
+                    if executor is not None:
+                        self._kill_executor(executor)
+                        executor = None
+                    requeue_collateral()
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True, cancel_futures=True)
+
+        return [done[base + position] for position in range(len(specs))]

@@ -1,0 +1,56 @@
+"""Crash-safe artifact writes.
+
+Every campaign artifact — figure tables under ``benchmarks/out/``,
+degradation reports, JSON summaries, journal headers — goes through
+:func:`atomic_write`: the payload lands in a temporary file in the target
+directory, is flushed and fsynced, and is then moved over the destination
+with :func:`os.replace`.  An interrupt (SIGKILL, power loss, a crashed
+worker) therefore leaves either the previous artifact or the new one,
+never a truncated hybrid.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write(path: str | os.PathLike, data: str | bytes, *,
+                 encoding: str = "utf-8") -> Path:
+    """Write ``data`` to ``path`` atomically (temp file + fsync + rename).
+
+    Parent directories are created as needed.  Returns the final path.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = data.encode(encoding) if isinstance(data, str) else data
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=target.parent
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_dir(target.parent)
+    return target
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort directory fsync so the rename itself is durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. network filesystems
+        pass
+    finally:
+        os.close(fd)

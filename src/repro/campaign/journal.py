@@ -1,0 +1,194 @@
+"""Write-ahead campaign journal: append-only JSONL checkpoints.
+
+Every completed trial is recorded as one JSON line carrying the trial's
+global index and its pickled value (base64, so the journal stays a text
+file).  The header line pins a ``tag`` — a fingerprint of the campaign
+(command, figure, base seed) — so a journal cannot silently be resumed
+into a different campaign.
+
+Durability model:
+
+* the header is created atomically (:func:`repro.campaign.io.atomic_write`);
+* each record append is flushed and fsynced before the engine considers
+  the trial checkpointed (write-ahead: the journal entry lands before
+  the result is surfaced to aggregation);
+* a torn trailing line — the signature of a mid-write kill — is detected
+  and ignored on load, so ``--resume`` after a crash just re-runs the
+  trial whose record was cut short.
+
+Because every trial's RNG stream depends only on ``(base_seed,
+trial_index)`` (DESIGN.md §9), a resumed campaign reproduces the
+uninterrupted campaign exactly: journaled trials are replayed from disk
+and the rest are recomputed from their own seeds.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.io import atomic_write
+from repro.campaign.spec import TrialFailure, TrialOutcome
+
+_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """Unusable journal: bad header, or tag mismatch on resume."""
+
+
+@dataclass
+class JournalSnapshot:
+    """Parsed journal contents: completed values plus failure records."""
+
+    tag: str = ""
+    values: dict[int, Any] = field(default_factory=dict)
+    failed: dict[int, list[TrialFailure]] = field(default_factory=dict)
+    torn_lines: int = 0
+
+    @property
+    def completed(self) -> int:
+        return len(self.values)
+
+
+def _encode_value(value: Any) -> str:
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def _decode_value(payload: str) -> Any:
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+class CampaignJournal:
+    """Append-side of the journal.  Open via :meth:`open`, feed it
+    terminal :class:`TrialOutcome`\\ s via :meth:`record`."""
+
+    def __init__(self, path: Path, handle) -> None:
+        self.path = path
+        self._handle = handle
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str | os.PathLike, tag: str) -> "CampaignJournal":
+        """Open ``path`` for appending, creating it (atomically, header
+        first) when absent.  An existing journal must carry the same
+        ``tag``; appending to a journal from a different campaign is an
+        error, not a silent corruption."""
+        target = Path(path)
+        if target.exists() and target.stat().st_size > 0:
+            snapshot = load_journal(target)
+            if snapshot.tag != tag:
+                raise JournalError(
+                    f"journal {target} belongs to campaign "
+                    f"{snapshot.tag!r}, not {tag!r}")
+        else:
+            header = json.dumps({"type": "header", "version": _VERSION,
+                                 "tag": tag}, sort_keys=True)
+            atomic_write(target, header + "\n")
+        handle = open(target, "a", encoding="utf-8")
+        # A mid-write kill can leave a torn final line with no newline;
+        # appending straight after it would glue the next record onto
+        # the torn prefix and lose it.  Terminate the torn line so it
+        # stays its own (ignored) line.
+        if target.stat().st_size > 0:
+            with open(target, "rb") as check:
+                check.seek(-1, os.SEEK_END)
+                if check.read(1) != b"\n":
+                    handle.write("\n")
+                    handle.flush()
+        return cls(target, handle)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def record(self, outcome: TrialOutcome) -> None:
+        """Append one terminal trial outcome, write-ahead durable."""
+        entry: dict[str, Any] = {
+            "type": "trial",
+            "index": outcome.index,
+            "ok": outcome.ok,
+            "attempts": outcome.attempts,
+            "failures": [f.to_dict() for f in outcome.failures],
+        }
+        if outcome.ok:
+            entry["payload"] = _encode_value(outcome.value)
+        line = json.dumps(entry, sort_keys=True)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+
+def load_journal(path: str | os.PathLike) -> JournalSnapshot:
+    """Parse a journal, tolerating a torn trailing line.
+
+    Raises :class:`JournalError` when the file does not start with a
+    valid header (that is corruption, not interruption).
+    """
+    target = Path(path)
+    snapshot = JournalSnapshot()
+    try:
+        with open(target, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except FileNotFoundError as exc:
+        raise JournalError(f"journal {target} does not exist") from exc
+    if not lines:
+        raise JournalError(f"journal {target} is empty")
+    try:
+        header = json.loads(lines[0])
+        if header.get("type") != "header":
+            raise ValueError("first line is not a header")
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise JournalError(f"journal {target} has no valid header") from exc
+    if header.get("version") != _VERSION:
+        raise JournalError(
+            f"journal {target} has unsupported version "
+            f"{header.get('version')!r}")
+    snapshot.tag = header.get("tag", "")
+    for position, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+            if entry.get("type") != "trial":
+                continue
+            index = int(entry["index"])
+            if entry.get("ok"):
+                snapshot.values[index] = _decode_value(entry["payload"])
+                snapshot.failed.pop(index, None)
+            else:
+                snapshot.failed[index] = [
+                    TrialFailure(**f) for f in entry.get("failures", [])
+                ]
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError,
+                pickle.UnpicklingError, EOFError):
+            # A torn line is only legitimate at the tail (mid-write
+            # kill); anything decodable after it would also have been
+            # written after it, so just count and move on.
+            snapshot.torn_lines += 1
+    return snapshot

@@ -10,15 +10,32 @@ Commands:
 * ``faults`` — the CML-under-faults degradation campaign: inject
   out-of-spec arrival bursts, compare shedding on vs off, and write the
   degradation report.
+
+Campaign resilience (``figure``/``retrybound``/``faults``): ``--workers N``
+fans trials out to crash-isolated worker processes, ``--trial-timeout``
+bounds each trial's wall clock, ``--trial-retries`` caps retry attempts,
+``--journal``/``--resume`` checkpoint and resume interrupted campaigns.
+``--max-failures`` makes the process exit nonzero (code 4) when more
+trials than that failed terminally; every command accepts ``--json PATH``
+for a machine-readable summary.  All artifact writes are atomic.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis.sojourn import compare_sojourn
 from repro.api import quick_simulation
+from repro.campaign import (
+    CampaignConfig,
+    CampaignEngine,
+    CampaignStats,
+    ChaosPlan,
+    JournalError,
+    atomic_write,
+)
 from repro.experiments import figures
 from repro.experiments.faults import cml_under_faults
 from repro.units import MS
@@ -34,6 +51,103 @@ FIGURES = {
     "thm2": figures.thm2_validation,
     "lemma45": figures.lemma45_validation,
 }
+
+#: Exit code for a campaign whose terminal trial failures exceeded
+#: ``--max-failures`` (distinct from 1 = domain check failed and
+#: 2 = usage error).
+EXIT_CAMPAIGN_FAILED = 4
+
+
+def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "campaign resilience",
+        "parallel workers, per-trial timeouts, retry, checkpoint/resume")
+    group.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = in-process serial, "
+                            "byte-identical to the classic path)")
+    group.add_argument("--trial-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-trial wall-clock budget "
+                            "(needs --workers > 1)")
+    group.add_argument("--trial-retries", type=int, default=3,
+                       metavar="N",
+                       help="max attempts per trial for transient "
+                            "failures, crashes and timeouts (default 3)")
+    group.add_argument("--journal", default=None, metavar="PATH",
+                       help="append-only JSONL checkpoint journal")
+    group.add_argument("--resume", default=None, metavar="PATH",
+                       help="resume from a journal: completed trials are "
+                            "replayed from disk, the rest recomputed "
+                            "(implies --journal PATH unless given)")
+    group.add_argument("--max-failures", type=int, default=0,
+                       help="tolerated terminally-failed trials before "
+                            "the process exits nonzero (default 0)")
+    # Deterministic campaign-layer fault injection, used by the CI
+    # acceptance check and the integration tests (hidden from --help).
+    group.add_argument("--chaos-crash", type=int, action="append",
+                       default=[], help=argparse.SUPPRESS)
+    group.add_argument("--chaos-hang", type=int, action="append",
+                       default=[], help=argparse.SUPPRESS)
+    group.add_argument("--chaos-transient", type=int, action="append",
+                       default=[], help=argparse.SUPPRESS)
+    group.add_argument("--chaos-hang-seconds", type=float, default=60.0,
+                       help=argparse.SUPPRESS)
+
+
+class UsageError(ValueError):
+    """Bad flag combination caught before any campaign work starts."""
+
+
+def _campaign_from_args(args) -> CampaignConfig | None:
+    if args.workers < 1:
+        raise UsageError(f"invalid --workers {args.workers}: must be >= 1")
+    if args.trial_retries < 1:
+        raise UsageError(
+            f"invalid --trial-retries {args.trial_retries}: must be >= 1")
+    if args.trial_timeout is not None and args.trial_timeout <= 0:
+        raise UsageError(
+            f"invalid --trial-timeout {args.trial_timeout}: "
+            f"must be positive")
+    chaos = None
+    if args.chaos_crash or args.chaos_hang or args.chaos_transient:
+        chaos = ChaosPlan(crash=tuple(args.chaos_crash),
+                          hang=tuple(args.chaos_hang),
+                          transient=tuple(args.chaos_transient),
+                          hang_seconds=args.chaos_hang_seconds)
+    journal = args.journal or args.resume
+    needs_engine = (args.workers > 1 or journal is not None
+                    or args.trial_timeout is not None
+                    or chaos is not None)
+    if not needs_engine:
+        return None
+    return CampaignConfig(
+        workers=args.workers,
+        timeout=args.trial_timeout,
+        max_attempts=max(1, args.trial_retries),
+        journal=journal,
+        resume=args.resume,
+        max_failures=args.max_failures,
+        chaos=chaos,
+    )
+
+
+def _campaign_exit(stats: CampaignStats | None, args) -> int:
+    if stats is None:
+        return 0
+    if stats.failed_trials > max(0, args.max_failures):
+        print(f"campaign FAILED: {stats.failed_trials} trials failed "
+              f"terminally (allowed: {args.max_failures})",
+              file=sys.stderr)
+        return EXIT_CAMPAIGN_FAILED
+    return 0
+
+
+def _write_json(args, payload: dict) -> None:
+    path = getattr(args, "json", None)
+    if path:
+        atomic_write(path, json.dumps(payload, indent=2, sort_keys=True,
+                                      allow_nan=True) + "\n")
+        print(f"json summary written to {path}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -55,16 +169,26 @@ def _build_parser() -> argparse.ArgumentParser:
     quick.add_argument("--sync", action="append",
                        choices=["ideal", "edf", "lockfree", "lockbased"],
                        help="repeatable; default: all four")
+    quick.add_argument("--json", default=None, metavar="PATH",
+                       help="write a machine-readable summary")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", choices=sorted(FIGURES))
     figure.add_argument("--repeats", type=int, default=3)
     figure.add_argument("--horizon-ms", type=int, default=100)
+    figure.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the rendered table to a file")
+    figure.add_argument("--json", default=None, metavar="PATH",
+                        help="write a machine-readable summary")
+    _add_campaign_args(figure)
 
     retry = sub.add_parser("retrybound",
                            help="Theorem 2 retry-bound validation")
     retry.add_argument("--repeats", type=int, default=3)
     retry.add_argument("--horizon-ms", type=int, default=300)
+    retry.add_argument("--json", default=None, metavar="PATH",
+                       help="write a machine-readable summary")
+    _add_campaign_args(retry)
 
     faults = sub.add_parser(
         "faults",
@@ -80,6 +204,9 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--seed", type=int, default=700)
     faults.add_argument("--out", default=None,
                         help="also write the degradation report to a file")
+    faults.add_argument("--json", default=None, metavar="PATH",
+                        help="write a machine-readable summary")
+    _add_campaign_args(faults)
 
     sojourn = sub.add_parser("sojourn",
                              help="Theorem 3 sojourn comparison")
@@ -96,11 +223,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sojourn.add_argument("--u", type=int, default=1000,
                          help="pure compute time (u_i)")
     sojourn.add_argument("--interference", type=int, default=0)
+    sojourn.add_argument("--json", default=None, metavar="PATH",
+                         help="write a machine-readable summary")
     return parser
 
 
 def _cmd_quick(args) -> int:
     syncs = args.sync or ["ideal", "edf", "lockfree", "lockbased"]
+    rows = []
     print(f"{'style':<10} {'AUR':>6} {'CMR':>6} {'jobs':>6} "
           f"{'retries':>8} {'blocked':>8}")
     for sync in syncs:
@@ -113,28 +243,66 @@ def _cmd_quick(args) -> int:
         print(f"{sync:<10} {summary.aur:6.3f} {summary.cmr:6.3f} "
               f"{len(result.records):6d} {result.total_retries:8d} "
               f"{result.total_blockings:8d}")
+        rows.append({
+            "sync": sync,
+            "aur": summary.aur,
+            "cmr": summary.cmr,
+            "jobs": len(result.records),
+            "retries": result.total_retries,
+            "blockings": result.total_blockings,
+        })
+    _write_json(args, {"command": "quick", "seed": args.seed,
+                       "load": args.load, "rows": rows})
     return 0
 
 
 def _cmd_figure(args) -> int:
     fn = FIGURES[args.name]
-    if args.name == "fig9":
-        result = fn(repeats=max(1, args.repeats // 3))
-    else:
-        result = fn(repeats=args.repeats, horizon=args.horizon_ms * MS)
-    print(result.render())
-    return 0
+    campaign = _campaign_from_args(args)
+    engine = (CampaignEngine(campaign, tag=f"figure:{args.name}")
+              if campaign is not None else None)
+    try:
+        if args.name == "fig9":
+            result = fn(repeats=max(1, args.repeats // 3), campaign=engine)
+        else:
+            result = fn(repeats=args.repeats, horizon=args.horizon_ms * MS,
+                        campaign=engine)
+    finally:
+        if engine is not None:
+            engine.close()
+    text = result.render()
+    print(text)
+    if args.out:
+        atomic_write(args.out, text + "\n")
+        print(f"figure table written to {args.out}")
+    rc = _campaign_exit(result.campaign, args)
+    _write_json(args, {"command": "figure", "name": args.name,
+                       "exit_code": rc, **result.to_dict()})
+    return rc
 
 
 def _cmd_retrybound(args) -> int:
-    result = figures.thm2_validation(repeats=args.repeats,
-                                     horizon=args.horizon_ms * MS)
+    campaign = _campaign_from_args(args)
+    engine = (CampaignEngine(campaign, tag="figure:thm2")
+              if campaign is not None else None)
+    try:
+        result = figures.thm2_validation(repeats=args.repeats,
+                                         horizon=args.horizon_ms * MS,
+                                         campaign=engine)
+    finally:
+        if engine is not None:
+            engine.close()
     print(result.render())
     measured, bound = result.series
     violated = any(m.mean > b.mean for m, b in
                    zip(measured.estimates, bound.estimates))
     print("BOUND VIOLATED" if violated else "bound holds for every task")
-    return 1 if violated else 0
+    rc = _campaign_exit(result.campaign, args)
+    if violated:
+        rc = rc or 1
+    _write_json(args, {"command": "retrybound", "violated": violated,
+                       "exit_code": rc, **result.to_dict()})
+    return rc
 
 
 def _cmd_faults(args) -> int:
@@ -151,22 +319,32 @@ def _cmd_faults(args) -> int:
         print(f"invalid --bursts {args.bursts!r}: levels must be >= 0",
               file=sys.stderr)
         return 2
-    campaign = cml_under_faults(
-        burst_levels=levels,
-        repeats=args.repeats,
-        horizon=args.horizon_ms * MS,
-        load=args.load,
-        burst_size=args.burst_size,
-        max_retries=args.max_retries,
-        base_seed=args.seed,
-    )
+    campaign_cfg = _campaign_from_args(args)
+    engine = (CampaignEngine(campaign_cfg, tag="faults")
+              if campaign_cfg is not None else None)
+    try:
+        campaign = cml_under_faults(
+            burst_levels=levels,
+            repeats=args.repeats,
+            horizon=args.horizon_ms * MS,
+            load=args.load,
+            burst_size=args.burst_size,
+            max_retries=args.max_retries,
+            base_seed=args.seed,
+            campaign=engine,
+        )
+    finally:
+        if engine is not None:
+            engine.close()
     text = campaign.render()
     print(text)
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+        atomic_write(args.out, text + "\n")
         print(f"degradation report written to {args.out}")
-    return 0
+    rc = _campaign_exit(campaign.figure.campaign, args)
+    _write_json(args, {"command": "faults", "exit_code": rc,
+                       **campaign.to_dict()})
+    return rc
 
 
 def _cmd_sojourn(args) -> int:
@@ -182,21 +360,37 @@ def _cmd_sojourn(args) -> int:
     print(f"worst-case sojourn, lock-free:  {comparison.lockfree:.1f}")
     winner = "lock-free" if comparison.lockfree_wins else "lock-based"
     print(f"shorter worst-case sojourn: {winner}")
+    _write_json(args, {
+        "command": "sojourn",
+        "ratio": comparison.ratio,
+        "paper_threshold": comparison.paper_threshold,
+        "exact_threshold": comparison.exact_threshold,
+        "lockbased": comparison.lockbased,
+        "lockfree": comparison.lockfree,
+        "winner": winner,
+    })
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "quick":
-        return _cmd_quick(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "retrybound":
-        return _cmd_retrybound(args)
-    if args.command == "faults":
-        return _cmd_faults(args)
-    if args.command == "sojourn":
-        return _cmd_sojourn(args)
+    try:
+        if args.command == "quick":
+            return _cmd_quick(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "retrybound":
+            return _cmd_retrybound(args)
+        if args.command == "faults":
+            return _cmd_faults(args)
+        if args.command == "sojourn":
+            return _cmd_sojourn(args)
+    except UsageError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except JournalError as exc:
+        print(f"journal error: {exc}", file=sys.stderr)
+        return 2
     raise AssertionError("unreachable")
 
 

@@ -12,20 +12,28 @@ The expected shape — the acceptance criterion of the fault-injection
 layer — is *graceful* decline: no crash, no unbounded retry loop, AUR
 falling smoothly with burst intensity, and the shedding guard holding
 utility above the unguarded kernel at every intensity level.
+
+Like the figure campaigns, the trial grid — ``(level, seed)`` pairs, one
+guarded + one unguarded kernel run each — routes through the resilient
+campaign engine when ``campaign=`` is supplied; every trial derives all
+randomness from its own seed, so parallel and serial campaigns agree.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Any
 
-from repro.experiments.figures import FigureResult, _seeds
+from repro.campaign import CampaignConfig, CampaignEngine
+from repro.experiments.figures import FigureResult, _engine_for, _seeds
 from repro.experiments.runner import run_once
 from repro.experiments.stats import Series
 from repro.experiments.workloads import paper_taskset
 from repro.faults.degradation import AdmissionPolicy, RetryGuard, ShedMode
 from repro.faults.plan import FaultPlan
 from repro.faults.report import DegradationReport
+from repro.sim.metrics import SimulationResult
 from repro.units import MS
 
 
@@ -56,12 +64,55 @@ class DegradationCampaign:
             )
         return "\n".join(lines)
 
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable summary (the CLI's ``--json`` payload)."""
+        levels = {}
+        for level, pairs in sorted(self.reports.items()):
+            levels[str(level)] = {
+                "injected": sum(g.injected_arrivals for g, _ in pairs),
+                "shed": sum(g.shed_jobs for g, _ in pairs),
+                "retry_aborts_unguarded": sum(u.retry_aborts
+                                              for _, u in pairs),
+                "violations_guarded": sum(len(g.violations)
+                                          for g, _ in pairs),
+                "violations_unguarded": sum(len(u.violations)
+                                            for _, u in pairs),
+            }
+        payload = self.figure.to_dict()
+        payload["degradation_levels"] = levels
+        return payload
+
+
+def faults_trial(level: int, seed: int, horizon: int, load: float,
+                 burst_size: int, max_retries: int
+                 ) -> tuple[SimulationResult, SimulationResult]:
+    """One (level, seed) cell: the guarded and unguarded kernel runs.
+    Module-level and picklable; all randomness derives from ``seed``."""
+    retry_guard = RetryGuard(max_retries=max_retries)
+    rng = random.Random(seed)
+    tasks = paper_taskset(rng, accesses_per_job=2, target_load=load)
+    plan = (FaultPlan.burst_storm(seed + 13, len(tasks), horizon,
+                                  bursts_per_task=level,
+                                  burst_size=burst_size)
+            if level else FaultPlan(seed=seed + 13))
+    shared = dict(fault_plan=plan, retry_guard=retry_guard,
+                  monitors=True)
+    g_result = run_once(tasks, "lockfree", horizon,
+                        random.Random(seed + 1),
+                        admission=AdmissionPolicy(ShedMode.SHED),
+                        **shared)
+    u_result = run_once(tasks, "lockfree", horizon,
+                        random.Random(seed + 1), **shared)
+    return g_result, u_result
+
 
 def cml_under_faults(burst_levels: tuple[int, ...] = (0, 1, 2, 4, 8),
                      repeats: int = 3, horizon: int = 60 * MS,
                      load: float = 0.8, burst_size: int = 2,
                      max_retries: int = 8,
-                     base_seed: int = 700) -> DegradationCampaign:
+                     base_seed: int = 700,
+                     campaign: "CampaignConfig | CampaignEngine | None" = None
+                     ) -> DegradationCampaign:
     """AUR vs injected burst intensity, shedding on vs off.
 
     Each level injects ``burst_levels[k]`` bursts of ``burst_size``
@@ -69,47 +120,44 @@ def cml_under_faults(burst_levels: tuple[int, ...] = (0, 1, 2, 4, 8),
     ``a_i`` budgets.  Both arms run lock-free RUA with monitors and a
     bounded-retry guard; only the admission guard differs.
     """
+    engine, owned = _engine_for(campaign, tag="faults")
     guarded = Series(label="AUR shed on")
     unguarded = Series(label="AUR shed off")
     violations = Series(label="violations (shed off)")
-    retry_guard = RetryGuard(max_retries=max_retries)
-    campaign = DegradationCampaign(figure=FigureResult(
+    result = DegradationCampaign(figure=FigureResult(
         figure="CML under faults",
         title=f"Accrued Utility Under Arrival-Burst Faults (AL≈{load})",
         x_label="bursts/task",
     ))
     for level in burst_levels:
-        g_values: list[float] = []
-        u_values: list[float] = []
-        v_values: list[float] = []
-        pairs: list[tuple[DegradationReport, DegradationReport]] = []
-        for seed in _seeds(repeats, base_seed):
-            rng = random.Random(seed)
-            tasks = paper_taskset(rng, accesses_per_job=2,
-                                  target_load=load)
-            plan = (FaultPlan.burst_storm(seed + 13, len(tasks), horizon,
-                                          bursts_per_task=level,
-                                          burst_size=burst_size)
-                    if level else FaultPlan(seed=seed + 13))
-            shared = dict(fault_plan=plan, retry_guard=retry_guard,
-                          monitors=True)
-            g_result = run_once(tasks, "lockfree", horizon,
-                                random.Random(seed + 1),
-                                admission=AdmissionPolicy(ShedMode.SHED),
-                                **shared)
-            u_result = run_once(tasks, "lockfree", horizon,
-                                random.Random(seed + 1), **shared)
-            g_values.append(g_result.aur)
-            u_values.append(u_result.aur)
-            v_values.append(float(len(u_result.degradation.violations)))
-            pairs.append((g_result.degradation, u_result.degradation))
+        seeds = _seeds(repeats, base_seed)
+        if engine is None:
+            cells = [
+                faults_trial(level, seed, horizon, load, burst_size,
+                             max_retries)
+                for seed in seeds
+            ]
+        else:
+            cells = engine.map(
+                faults_trial,
+                [(level, seed, horizon, load, burst_size, max_retries)
+                 for seed in seeds],
+            ).values
+        g_values = [g.aur for g, _ in cells]
+        u_values = [u.aur for _, u in cells]
+        v_values = [float(len(u.degradation.violations)) for _, u in cells]
         guarded.add(level, g_values)
         unguarded.add(level, u_values)
         violations.add(level, v_values)
-        campaign.reports[level] = pairs
-    campaign.figure.series = [guarded, unguarded, violations]
-    campaign.figure.notes = (
+        result.reports[level] = [(g.degradation, u.degradation)
+                                 for g, u in cells]
+    result.figure.series = [guarded, unguarded, violations]
+    result.figure.notes = (
         "Expected shape: AUR declines gracefully with burst intensity; "
         "shedding keeps it above the unguarded kernel."
     )
-    return campaign
+    if engine is not None:
+        result.figure.campaign = engine.stats()
+        if owned:
+            engine.close()
+    return result

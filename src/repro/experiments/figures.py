@@ -6,17 +6,34 @@ paper and returns a :class:`FigureResult` whose ``render()`` produces the
 ASCII table recorded in EXPERIMENTS.md.  ``repeats`` and ``horizon_factor``
 trade fidelity for speed; the benchmark suite uses reduced settings, and
 ``scripts``-level runs can crank them up.
+
+Every figure accepts ``campaign=`` — a
+:class:`repro.campaign.CampaignConfig` (or a pre-built
+:class:`repro.campaign.CampaignEngine`) that routes the figure's trials
+through the resilient campaign engine: parallel workers, per-trial
+timeouts, retry with backoff, write-ahead journaling and resume.  The
+default (``None``) preserves the original in-process serial loops
+byte-for-byte.  Trial functions are module-level and rebuild their
+tasksets from ``(base_seed, trial_index)``-derived seeds alone, so
+serial and parallel campaigns agree on every data point.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.analysis.retry_bound import retry_bound_for_taskset
 from repro.analysis.aur_bounds import (
     lemma4_lockfree_aur_bounds,
     lemma5_lockbased_aur_bounds,
+)
+from repro.campaign import (
+    CampaignConfig,
+    CampaignEngine,
+    CampaignStats,
+    as_engine,
 )
 from repro.experiments.cml import measure_cml
 from repro.experiments.report import format_series_table
@@ -24,12 +41,15 @@ from repro.experiments.runner import run_many, run_once
 from repro.experiments.stats import Series
 from repro.experiments.workloads import (
     DEFAULT_ACCESS_DURATION,
+    BuilderSpec,
+    LoadedBuilderSpec,
     interference_taskset,
     paper_taskset,
-    readers_taskset,
 )
 from repro.sim.objects import RetryPolicy
 from repro.units import MS, US, ns_to_us
+
+CampaignArg = "CampaignConfig | CampaignEngine | None"
 
 
 @dataclass
@@ -41,18 +61,55 @@ class FigureResult:
     x_label: str
     series: list[Series] = field(default_factory=list)
     notes: str = ""
+    #: Campaign health when the figure ran through the resilient engine
+    #: (None for the plain serial path).  Failed trials thin the sample
+    #: behind a point; the render makes that visible instead of silent.
+    campaign: CampaignStats | None = None
 
     def render(self) -> str:
         text = format_series_table(
-            f"{self.figure}: {self.title}", self.x_label, self.series
+            f"{self.figure}: {self.title}", self.x_label, self.series,
+            show_n=self.campaign is not None,
         )
         if self.notes:
             text += f"\n{self.notes}"
+        if self.campaign is not None:
+            text += f"\ncampaign: {self.campaign.summary_line()}"
         return text
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable summary (the CLI's ``--json`` payload)."""
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "x_label": self.x_label,
+            "series": [s.to_dict() for s in self.series],
+            "notes": self.notes,
+            "campaign": (None if self.campaign is None
+                         else self.campaign.to_dict()),
+        }
 
 
 def _seeds(repeats: int, base: int) -> list[int]:
     return [base + 1000 * k for k in range(repeats)]
+
+
+def _engine_for(campaign, tag: str) -> tuple[CampaignEngine | None, bool]:
+    """Normalize the ``campaign=`` argument; ``owned`` tells the figure
+    whether it must close the engine (it built one from a config) or the
+    caller keeps ownership (it passed an engine)."""
+    engine = as_engine(campaign, tag=tag)
+    owned = engine is not None and not isinstance(campaign, CampaignEngine)
+    return engine, owned
+
+
+def _finish(result: FigureResult, engine: CampaignEngine | None,
+            owned: bool) -> FigureResult:
+    if engine is not None:
+        result.campaign = engine.stats()
+        if owned:
+            engine.close()
+    return result
 
 
 # ---------------------------------------------------------------------
@@ -61,7 +118,8 @@ def _seeds(repeats: int, base: int) -> list[int]:
 
 def fig8(repeats: int = 5, horizon: int = 150 * MS,
          objects: tuple[int, ...] = tuple(range(1, 11)),
-         load: float = 0.5, base_seed: int = 80) -> FigureResult:
+         load: float = 0.5, base_seed: int = 80,
+         campaign: CampaignArg = None) -> FigureResult:
     """Lock-based (``r``) vs lock-free (``s``) shared-object access time
     under an increasing number of objects accessed per job.
 
@@ -70,31 +128,33 @@ def fig8(repeats: int = 5, horizon: int = 150 * MS,
     scheduler passes that lock/unlock requests trigger for ``r``; CAS
     attempts and retry-wasted work for ``s``), reported in µs.
     """
+    engine, owned = _engine_for(campaign, tag="fig8")
     r_series = Series(label="r lock-based [us]")
     s_series = Series(label="s lock-free [us]")
     for m in objects:
-        def build(rng: random.Random, m=m):
-            return paper_taskset(rng, accesses_per_job=m,
+        build = BuilderSpec.make("paper", accesses_per_job=m,
                                  target_load=load)
         r_values = []
         for result in run_many(build, "lockbased", horizon,
-                               _seeds(repeats, base_seed)):
+                               _seeds(repeats, base_seed),
+                               campaign=engine):
             mech = result.mean_lock_mechanism_per_access or 0.0
             r_values.append(ns_to_us(DEFAULT_ACCESS_DURATION + mech))
         s_values = []
         for result in run_many(build, "lockfree", horizon,
-                               _seeds(repeats, base_seed)):
+                               _seeds(repeats, base_seed),
+                               campaign=engine):
             mech = result.mean_lockfree_mechanism_per_access or 0.0
             s_values.append(ns_to_us(DEFAULT_ACCESS_DURATION + mech))
         r_series.add(m, r_values)
         s_series.add(m, s_values)
-    return FigureResult(
+    return _finish(FigureResult(
         figure="Figure 8",
         title="Lock-Based and Lock-Free Shared Object Access Time",
         x_label="objects/job",
         series=[r_series, s_series],
         notes="Paper shape: r >> s; r grows with object count; s stays flat.",
-    )
+    ), engine, owned)
 
 
 # ---------------------------------------------------------------------
@@ -105,31 +165,32 @@ def fig9(repeats: int = 3,
          exec_times_us: tuple[int, ...] = (10, 30, 100, 300, 1000),
          syncs: tuple[str, ...] = ("ideal", "lockfree", "lockbased"),
          base_seed: int = 90, windows_per_run: int = 40,
-         bisect_iterations: int = 7) -> FigureResult:
+         bisect_iterations: int = 7,
+         campaign: CampaignArg = None) -> FigureResult:
     """CML of ideal / lock-free / lock-based RUA under increasing average
     job execution time (10 µs – 1 ms)."""
+    engine, owned = _engine_for(campaign, tag="fig9")
     series = {sync: Series(label=f"CML {sync}") for sync in syncs}
     for exec_us in exec_times_us:
         avg_exec = exec_us * US
         # Horizon: enough windows at the heaviest probed load.
         horizon = max(windows_per_run * 10 * avg_exec, 5 * MS)
-
-        def build(rng: random.Random, load: float, avg_exec=avg_exec):
-            return paper_taskset(rng, avg_exec=avg_exec, target_load=load,
-                                 accesses_per_job=2)
+        build = LoadedBuilderSpec.make("paper", avg_exec=avg_exec,
+                                       accesses_per_job=2)
         for sync in syncs:
             cml = measure_cml(build, sync, horizon,
                               _seeds(repeats, base_seed),
-                              iterations=bisect_iterations)
+                              iterations=bisect_iterations,
+                              campaign=engine)
             series[sync].add(exec_us, [cml])
-    return FigureResult(
+    return _finish(FigureResult(
         figure="Figure 9",
         title="Critical Time Miss Load",
         x_label="avg exec [us]",
         series=list(series.values()),
         notes=("Paper shape: lock-free ~ ideal, CML→1 near 10 us; "
                "lock-based converges to 1 only near 1 ms."),
-    )
+    ), engine, owned)
 
 
 # ---------------------------------------------------------------------
@@ -139,63 +200,69 @@ def fig9(repeats: int = 3,
 def _aur_cmr_vs_objects(figure: str, load: float, tuf_class: str,
                         repeats: int, horizon: int,
                         objects: tuple[int, ...],
-                        base_seed: int) -> FigureResult:
+                        base_seed: int,
+                        campaign: CampaignArg = None) -> FigureResult:
+    engine, owned = _engine_for(campaign, tag=figure.replace(" ", "").lower())
     labels = ("AUR lock-based", "AUR lock-free",
               "CMR lock-based", "CMR lock-free")
     series = {label: Series(label=label) for label in labels}
     for m in objects:
-        def build(rng: random.Random, m=m):
-            return paper_taskset(rng, accesses_per_job=m, target_load=load,
-                                 tuf_class=tuf_class)
+        build = BuilderSpec.make("paper", accesses_per_job=m,
+                                 target_load=load, tuf_class=tuf_class)
         for sync, tag in (("lockbased", "lock-based"),
                           ("lockfree", "lock-free")):
             results = run_many(build, sync, horizon,
-                               _seeds(repeats, base_seed))
+                               _seeds(repeats, base_seed),
+                               campaign=engine)
             series[f"AUR {tag}"].add(m, [r.aur for r in results])
             series[f"CMR {tag}"].add(m, [r.cmr for r in results])
     regime = "Underload" if load < 1.0 else "Overload"
     shape = ("lock-free stays near 100%" if load < 1.0 else
              "lock-based AUR/CMR collapse with objects; lock-free holds")
-    return FigureResult(
+    return _finish(FigureResult(
         figure=figure,
         title=(f"AUR/CMR During {regime} (AL≈{load}), "
                f"{tuf_class} TUFs"),
         x_label="objects/job",
         series=list(series.values()),
         notes=f"Paper shape: {shape}.",
-    )
+    ), engine, owned)
 
 
 def fig10(repeats: int = 5, horizon: int = 150 * MS,
           objects: tuple[int, ...] = tuple(range(1, 11)),
-          base_seed: int = 100) -> FigureResult:
+          base_seed: int = 100,
+          campaign: CampaignArg = None) -> FigureResult:
     """Underload (AL ≈ 0.4), step TUFs."""
     return _aur_cmr_vs_objects("Figure 10", 0.4, "step", repeats, horizon,
-                               objects, base_seed)
+                               objects, base_seed, campaign)
 
 
 def fig11(repeats: int = 5, horizon: int = 150 * MS,
           objects: tuple[int, ...] = tuple(range(1, 11)),
-          base_seed: int = 110) -> FigureResult:
+          base_seed: int = 110,
+          campaign: CampaignArg = None) -> FigureResult:
     """Underload (AL ≈ 0.4), heterogeneous TUFs."""
     return _aur_cmr_vs_objects("Figure 11", 0.4, "hetero", repeats, horizon,
-                               objects, base_seed)
+                               objects, base_seed, campaign)
 
 
 def fig12(repeats: int = 5, horizon: int = 150 * MS,
           objects: tuple[int, ...] = tuple(range(1, 11)),
-          base_seed: int = 120) -> FigureResult:
+          base_seed: int = 120,
+          campaign: CampaignArg = None) -> FigureResult:
     """Overload (AL ≈ 1.1), step TUFs."""
     return _aur_cmr_vs_objects("Figure 12", 1.1, "step", repeats, horizon,
-                               objects, base_seed)
+                               objects, base_seed, campaign)
 
 
 def fig13(repeats: int = 5, horizon: int = 150 * MS,
           objects: tuple[int, ...] = tuple(range(1, 11)),
-          base_seed: int = 130) -> FigureResult:
+          base_seed: int = 130,
+          campaign: CampaignArg = None) -> FigureResult:
     """Overload (AL ≈ 1.1), heterogeneous TUFs."""
     return _aur_cmr_vs_objects("Figure 13", 1.1, "hetero", repeats, horizon,
-                               objects, base_seed)
+                               objects, base_seed, campaign)
 
 
 # ---------------------------------------------------------------------
@@ -204,38 +271,58 @@ def fig13(repeats: int = 5, horizon: int = 150 * MS,
 
 def fig14(repeats: int = 5, horizon: int = 150 * MS,
           readers: tuple[int, ...] = tuple(range(1, 10)),
-          base_seed: int = 140) -> FigureResult:
+          base_seed: int = 140,
+          campaign: CampaignArg = None) -> FigureResult:
     """Increasing reader-task count, heterogeneous TUFs; the load grows
     with the task count (the paper's AL = 0.1–1.1 sweep)."""
+    engine, owned = _engine_for(campaign, tag="fig14")
     labels = ("AUR lock-based", "AUR lock-free",
               "CMR lock-based", "CMR lock-free")
     series = {label: Series(label=label) for label in labels}
     for n_readers in readers:
-        def build(rng: random.Random, n_readers=n_readers):
-            return readers_taskset(rng, n_readers=n_readers)
+        build = BuilderSpec.make("readers", n_readers=n_readers)
         for sync, tag in (("lockbased", "lock-based"),
                           ("lockfree", "lock-free")):
             results = run_many(build, sync, horizon,
-                               _seeds(repeats, base_seed))
+                               _seeds(repeats, base_seed),
+                               campaign=engine)
             series[f"AUR {tag}"].add(n_readers, [r.aur for r in results])
             series[f"CMR {tag}"].add(n_readers, [r.cmr for r in results])
-    return FigureResult(
+    return _finish(FigureResult(
         figure="Figure 14",
         title="AUR/CMR During Increasing Readers, Heterogeneous TUFs",
         x_label="readers",
         series=list(series.values()),
         notes="Paper shape: lock-free superior throughout the sweep.",
-    )
+    ), engine, owned)
 
 
 # ---------------------------------------------------------------------
 # Theorem 2 validation — measured retries vs the bound
 # ---------------------------------------------------------------------
 
+def _thm2_trial(base_seed: int, max_arrivals: int, horizon: int, seed: int,
+                retry_policy: RetryPolicy) -> dict[str, int]:
+    """One Theorem 2 trial: rebuild the (deterministic) interference
+    taskset, run it under bursty arrivals, return per-task max retries.
+    Module-level and picklable for campaign workers."""
+    tasks = interference_taskset(random.Random(base_seed),
+                                 max_arrivals=max_arrivals)
+    result = run_once(tasks, "lockfree", horizon, random.Random(seed),
+                      arrival_style="bursty",
+                      retry_policy=retry_policy)
+    worst: dict[str, int] = {t.name: 0 for t in tasks}
+    for record in result.records:
+        worst[record.task_name] = max(worst[record.task_name],
+                                      record.retries)
+    return worst
+
+
 def thm2_validation(repeats: int = 5, horizon: int = 400 * MS,
                     retry_policy: RetryPolicy = RetryPolicy.ON_PREEMPTION,
                     max_arrivals: int = 2,
-                    base_seed: int = 200) -> FigureResult:
+                    base_seed: int = 200,
+                    campaign: CampaignArg = None) -> FigureResult:
     """Adversarial (bursty) UAM arrivals under lock-free RUA: per task,
     the maximum observed per-job retries against Theorem 2's ``f_i``.
 
@@ -246,51 +333,78 @@ def thm2_validation(repeats: int = 5, horizon: int = 400 * MS,
     dispatch, making the bound trivially satisfied at zero).
     The x axis indexes tasks; both series must satisfy measured <= bound
     for every task (tests assert it)."""
+    engine, owned = _engine_for(campaign, tag="thm2")
     measured = Series(label="max retries measured")
     bound = Series(label="Theorem 2 bound f_i")
-    rng = random.Random(base_seed)
-    tasks = interference_taskset(rng, max_arrivals=max_arrivals)
+    tasks = interference_taskset(random.Random(base_seed),
+                                 max_arrivals=max_arrivals)
+    seeds = _seeds(repeats, base_seed + 1)
+    if engine is None:
+        per_trial = [
+            _thm2_trial(base_seed, max_arrivals, horizon, seed,
+                        retry_policy)
+            for seed in seeds
+        ]
+    else:
+        per_trial = engine.map(
+            _thm2_trial,
+            [(base_seed, max_arrivals, horizon, seed, retry_policy)
+             for seed in seeds],
+        ).values
     worst: dict[str, int] = {t.name: 0 for t in tasks}
-    for seed in _seeds(repeats, base_seed + 1):
-        result = run_once(tasks, "lockfree", horizon, random.Random(seed),
-                          arrival_style="bursty",
-                          retry_policy=retry_policy)
-        for record in result.records:
-            worst[record.task_name] = max(worst[record.task_name],
-                                          record.retries)
+    for trial_worst in per_trial:
+        for name, retries in trial_worst.items():
+            worst[name] = max(worst[name], retries)
     for index, task in enumerate(tasks):
         measured.add(index, [float(worst[task.name])])
         bound.add(index, [float(retry_bound_for_taskset(tasks, index))])
-    return FigureResult(
+    return _finish(FigureResult(
         figure="Theorem 2",
         title="Lock-Free Retry Bound Under UAM (measured vs bound)",
         x_label="task",
         series=[measured, bound],
         notes="Soundness requires measured <= bound for every task.",
-    )
+    ), engine, owned)
 
 
 # ---------------------------------------------------------------------
 # Lemmas 4/5 validation — AUR inside the analytical bounds
 # ---------------------------------------------------------------------
 
+def _lemma45_trial(base_seed: int, load: float, sync: str, horizon: int,
+                   seed: int):
+    """One Lemma 4/5 trial: rebuild the deterministic feasible taskset,
+    run one seeded simulation of it.  Module-level and picklable."""
+    tasks = paper_taskset(random.Random(base_seed), accesses_per_job=2,
+                          target_load=load, tuf_class="step")
+    return run_once(tasks, sync, horizon, random.Random(seed))
+
+
 def lemma45_validation(repeats: int = 5, horizon: int = 300 * MS,
                        load: float = 0.35,
-                       base_seed: int = 450) -> FigureResult:
+                       base_seed: int = 450,
+                       campaign: CampaignArg = None) -> FigureResult:
     """Feasible (underloaded) task set with non-increasing TUFs: measured
     AUR of each sharing style against its Lemma 4/5 interval.
 
     Interference/retry/blocking inputs to the bounds are taken at their
     measured worst over the campaign, as the lemmas' worst-case terms."""
-    rng = random.Random(base_seed)
-    tasks = paper_taskset(rng, accesses_per_job=2, target_load=load,
-                          tuf_class="step")
+    engine, owned = _engine_for(campaign, tag="lemma45")
+    tasks = paper_taskset(random.Random(base_seed), accesses_per_job=2,
+                          target_load=load, tuf_class="step")
+    seeds = _seeds(repeats, base_seed + 1)
     out: list[Series] = []
     for sync, lemma in (("lockfree", "4"), ("lockbased", "5")):
-        results = [
-            run_once(tasks, sync, horizon, random.Random(seed))
-            for seed in _seeds(repeats, base_seed + 1)
-        ]
+        if engine is None:
+            results = [
+                _lemma45_trial(base_seed, load, sync, horizon, seed)
+                for seed in seeds
+            ]
+        else:
+            results = engine.map(
+                _lemma45_trial,
+                [(base_seed, load, sync, horizon, seed) for seed in seeds],
+            ).values
         aurs = [r.aur for r in results]
         # Worst-case measured interference per task: max sojourn minus
         # the task's own execution estimate (conservative split).
@@ -329,10 +443,10 @@ def lemma45_validation(repeats: int = 5, horizon: int = 300 * MS,
         s_meas.add(0, aurs)
         s_high.add(0, [bounds.upper])
         out.extend([s_low, s_meas, s_high])
-    return FigureResult(
+    return _finish(FigureResult(
         figure="Lemmas 4-5",
         title="AUR Bounds (lock-free and lock-based)",
         x_label="-",
         series=out,
         notes="Soundness requires lower <= measured <= upper.",
-    )
+    ), engine, owned)

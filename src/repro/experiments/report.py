@@ -11,9 +11,15 @@ from repro.experiments.stats import Series
 
 def format_series_table(title: str, x_label: str,
                         series: list[Series],
-                        x_format: str = "{:g}") -> str:
+                        x_format: str = "{:g}",
+                        show_n: bool = False) -> str:
     """Render aligned columns: x, then one ``mean ± ci`` column per
-    series."""
+    series.
+
+    ``show_n`` appends each estimate's sample count — campaigns that
+    dropped failed trials render with it so a thinned point (or an empty
+    ``n=0`` one) is visible in the artifact, not silently averaged over.
+    """
     header = [x_label] + [s.label for s in series]
     rows: list[list[str]] = []
     xs = series[0].xs if series else []
@@ -26,7 +32,10 @@ def format_series_table(title: str, x_label: str,
         row = [x_format.format(x)]
         for s in series:
             est = s.estimates[index]
-            row.append(f"{est.mean:8.4f} ±{est.ci:7.4f}")
+            cell = f"{est.mean:8.4f} ±{est.ci:7.4f}"
+            if show_n:
+                cell += f" n={est.n}"
+            row.append(cell)
         rows.append(row)
     widths = [
         max(len(header[col]), *(len(r[col]) for r in rows)) if rows

@@ -61,7 +61,12 @@ def estimate(values: list[float], confidence: float = 0.95) -> Estimate:
 
 @dataclass
 class Series:
-    """One labeled curve of a figure: x values and per-x estimates."""
+    """One labeled curve of a figure: x values and per-x estimates.
+
+    A point may carry an *empty* sample (``n == 0``, NaN mean): that is
+    how a campaign whose every trial at some x failed degrades — the
+    point stays in the table, visibly hollow, instead of crashing the
+    aggregation (mirroring ``SimulationResult.degradation``)."""
 
     label: str
     xs: list[float] = field(default_factory=list)
@@ -69,10 +74,28 @@ class Series:
 
     def add(self, x: float, values: list[float]) -> None:
         self.xs.append(x)
-        self.estimates.append(estimate(values))
+        if values:
+            self.estimates.append(estimate(values))
+        else:
+            self.estimates.append(Estimate(mean=math.nan, ci=0.0, n=0))
 
     def means(self) -> list[float]:
         return [e.mean for e in self.estimates]
 
     def at(self, x: float) -> Estimate:
         return self.estimates[self.xs.index(x)]
+
+    @property
+    def total_n(self) -> int:
+        """Total sample count across all points (campaign N bookkeeping)."""
+        return sum(e.n for e in self.estimates)
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "xs": list(self.xs),
+            "estimates": [
+                {"mean": e.mean, "ci": e.ci, "n": e.n}
+                for e in self.estimates
+            ],
+        }

@@ -20,6 +20,8 @@ unstated ones with documented conventions:
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
+from typing import Any
 
 from repro.arrivals.spec import UAMSpec
 from repro.tasks.segments import AccessKind
@@ -179,3 +181,64 @@ def readers_taskset(rng: random.Random,
             access_kind=kind,
         ))
     return scale_to_load(tasks, load)
+
+
+# ----------------------------------------------------------------------
+# Picklable taskset builders (campaign workers)
+# ----------------------------------------------------------------------
+#
+# The figure campaigns used to close over their sweep variables
+# (``def build(rng, m=m): ...``), which pickles neither under ``spawn``
+# nor by reference.  A :class:`BuilderSpec` is the declarative
+# equivalent: a registered factory name plus frozen keyword arguments,
+# so a campaign worker can rebuild the exact same taskset from the spec
+# and the trial's own RNG.
+
+WORKLOAD_FACTORIES: dict[str, Any] = {
+    "paper": paper_taskset,
+    "scaled_paper": scaled_paper_taskset,
+    "interference": interference_taskset,
+    "readers": readers_taskset,
+}
+
+
+@dataclass(frozen=True)
+class BuilderSpec:
+    """Picklable ``TasksetBuilder``: ``spec(rng)`` invokes the named
+    factory with the frozen keyword arguments."""
+
+    factory: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, factory: str, **params: Any) -> "BuilderSpec":
+        if factory not in WORKLOAD_FACTORIES:
+            raise ValueError(
+                f"unknown workload factory {factory!r}; "
+                f"known: {sorted(WORKLOAD_FACTORIES)}")
+        return cls(factory=factory, params=tuple(sorted(params.items())))
+
+    def __call__(self, rng: random.Random) -> list[TaskSpec]:
+        return WORKLOAD_FACTORIES[self.factory](rng, **dict(self.params))
+
+
+@dataclass(frozen=True)
+class LoadedBuilderSpec:
+    """Picklable ``LoadedTasksetBuilder`` for CML bisection:
+    ``spec(rng, load)`` forwards the probed load as ``target_load``."""
+
+    factory: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, factory: str, **params: Any) -> "LoadedBuilderSpec":
+        if factory not in WORKLOAD_FACTORIES:
+            raise ValueError(
+                f"unknown workload factory {factory!r}; "
+                f"known: {sorted(WORKLOAD_FACTORIES)}")
+        return cls(factory=factory, params=tuple(sorted(params.items())))
+
+    def __call__(self, rng: random.Random,
+                 load: float) -> list[TaskSpec]:
+        return WORKLOAD_FACTORIES[self.factory](
+            rng, target_load=load, **dict(self.params))

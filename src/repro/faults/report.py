@@ -30,6 +30,10 @@ class InvariantViolation:
         suffix = f": {self.detail}" if self.detail else ""
         return f"[{self.time}] {self.monitor}{subject}{suffix}"
 
+    def to_dict(self) -> dict:
+        return {"time": self.time, "monitor": self.monitor,
+                "job": self.job, "detail": self.detail}
+
 
 @dataclass
 class DegradationReport:
@@ -71,6 +75,22 @@ class DegradationReport:
 
     def violations_of(self, monitor: str) -> list[InvariantViolation]:
         return [v for v in self.violations if v.monitor == monitor]
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (CLI ``--json`` summaries, journals)."""
+        return {
+            "injected_arrivals": self.injected_arrivals,
+            "injected_overruns": self.injected_overruns,
+            "forced_retries": self.forced_retries,
+            "jittered_charges": self.jittered_charges,
+            "timer_faults": self.timer_faults,
+            "shed_jobs": self.shed_jobs,
+            "deferred_jobs": self.deferred_jobs,
+            "deferred_delay_total": self.deferred_delay_total,
+            "retry_aborts": self.retry_aborts,
+            "backoff_time": self.backoff_time,
+            "violations": [v.to_dict() for v in self.violations],
+        }
 
     def summary(self) -> str:
         """Human-readable multi-line summary."""

@@ -1,0 +1,62 @@
+"""Tests for crash-safe artifact writes (`repro.campaign.io`)."""
+
+import os
+
+import pytest
+
+from repro.campaign.io import atomic_write
+
+
+class TestAtomicWrite:
+    def test_writes_text(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        returned = atomic_write(target, "hello\n")
+        assert returned == target
+        assert target.read_text() == "hello\n"
+
+    def test_writes_bytes(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write(target, b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "c.txt"
+        atomic_write(target, "nested")
+        assert target.read_text() == "nested"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        target.write_text("old")
+        atomic_write(target, "new")
+        assert target.read_text() == "new"
+
+    def test_custom_encoding(self, tmp_path):
+        target = tmp_path / "latin.txt"
+        atomic_write(target, "café", encoding="latin-1")
+        assert target.read_bytes() == b"caf\xe9"
+
+    def test_no_temp_files_left_on_success(self, tmp_path):
+        atomic_write(tmp_path / "artifact.txt", "data")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["artifact.txt"]
+
+    def test_failed_write_leaves_previous_artifact_and_no_temp(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write(target, "previous")
+        with pytest.raises(TypeError):
+            atomic_write(target, 12345)  # not str/bytes: write() raises
+        assert target.read_text() == "previous"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["artifact.txt"]
+
+    def test_temp_file_lands_in_target_directory(self, tmp_path, monkeypatch):
+        # os.replace is only atomic within one filesystem; the temp file
+        # must therefore be created next to the target, not in $TMPDIR.
+        seen = {}
+        real_replace = os.replace
+
+        def spy(src, dst):
+            seen["src_dir"] = os.path.dirname(os.path.abspath(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy)
+        atomic_write(tmp_path / "artifact.txt", "data")
+        assert seen["src_dir"] == str(tmp_path)

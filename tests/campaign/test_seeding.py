@@ -1,0 +1,71 @@
+"""Tests for deterministic seed derivation and seeded backoff."""
+
+import pytest
+
+from repro.campaign.seeding import backoff_delay, derive_seed, derive_seeds
+
+
+class TestDeriveSeed:
+    def test_pure_function_of_arguments(self):
+        assert derive_seed(42, 7) == derive_seed(42, 7)
+        assert derive_seed(42, 7, "s") == derive_seed(42, 7, "s")
+
+    def test_distinct_across_each_argument(self):
+        base = derive_seed(42, 7, "s")
+        assert derive_seed(43, 7, "s") != base
+        assert derive_seed(42, 8, "s") != base
+        assert derive_seed(42, 7, "t") != base
+
+    def test_64_bit_range(self):
+        for index in range(50):
+            seed = derive_seed(0, index)
+            assert 0 <= seed < 2 ** 64
+
+    def test_no_separator_collisions(self):
+        # "1:2" + "" must not collide with "1" + "2:" style confusions.
+        assert derive_seed(1, 2, "3") != derive_seed(1, 23, "")
+        assert derive_seed(12, 3) != derive_seed(1, 23)
+
+    def test_derive_seeds_matches_pointwise(self):
+        seeds = derive_seeds(42, 5, "stream")
+        assert seeds == [derive_seed(42, k, "stream") for k in range(5)]
+        assert len(set(seeds)) == 5
+
+
+class TestBackoffDelay:
+    def test_exponential_growth_without_jitter(self):
+        delays = [backoff_delay(a, base=0.1, factor=2.0, cap=100.0,
+                                jitter=0.0, seed=0) for a in range(4)]
+        assert delays == [0.1, 0.2, 0.4, 0.8]
+
+    def test_cap_applies(self):
+        assert backoff_delay(10, base=0.1, factor=2.0, cap=1.5,
+                             jitter=0.0, seed=0) == 1.5
+
+    def test_jitter_stays_within_band_and_is_seeded(self):
+        raw = 0.4  # base * factor**2
+        for seed in range(20):
+            delay = backoff_delay(2, base=0.1, factor=2.0, cap=100.0,
+                                  jitter=0.25, seed=seed)
+            assert raw * 0.75 <= delay <= raw * 1.25
+            again = backoff_delay(2, base=0.1, factor=2.0, cap=100.0,
+                                  jitter=0.25, seed=seed)
+            assert delay == again
+
+    def test_zero_base_is_zero_delay(self):
+        assert backoff_delay(3, base=0.0, factor=2.0, cap=1.0,
+                             jitter=0.5, seed=9) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            backoff_delay(-1, base=0.1, factor=2.0, cap=1.0,
+                          jitter=0.0, seed=0)
+        with pytest.raises(ValueError):
+            backoff_delay(0, base=-0.1, factor=2.0, cap=1.0,
+                          jitter=0.0, seed=0)
+        with pytest.raises(ValueError):
+            backoff_delay(0, base=0.1, factor=0.5, cap=1.0,
+                          jitter=0.0, seed=0)
+        with pytest.raises(ValueError):
+            backoff_delay(0, base=0.1, factor=2.0, cap=1.0,
+                          jitter=1.5, seed=0)

@@ -1,0 +1,165 @@
+"""CLI campaign-resilience integration tests.
+
+Includes the PR's acceptance scenario: a figure campaign on 4 workers
+with an injected worker crash and a hung (timed-out) trial completes,
+reports the failures, and — after the journal is torn mid-write and the
+campaign resumed — produces results identical to a clean serial run
+with the same base seed.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+
+FIG = ["figure", "fig10", "--repeats", "1", "--horizon-ms", "10"]
+
+
+def _normalize(table: str) -> list[list[str]]:
+    """Reduce a rendered table to its data tokens: drop the campaign
+    annotation line, the per-cell ``n=`` counts, dash rulers, and
+    column-width padding — everything a campaign run is allowed to add."""
+    rows = []
+    for line in table.splitlines():
+        if line.startswith("campaign:") or set(line.strip()) <= {"-", " "}:
+            continue
+        rows.append(re.sub(r"\bn=\d+\b", "", line).split())
+    return rows
+
+
+class TestJsonSummaries:
+    def test_quick_json(self, tmp_path, capsys):
+        path = tmp_path / "quick.json"
+        assert main(["quick", "--horizon-ms", "50", "--tasks", "2",
+                     "--objects", "1", "--sync", "lockfree",
+                     "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "quick"
+        assert payload["rows"][0]["sync"] == "lockfree"
+        assert "aur" in payload["rows"][0]
+
+    def test_figure_json_carries_campaign_stats(self, tmp_path, capsys):
+        path = tmp_path / "fig.json"
+        assert main(FIG + ["--workers", "2", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "figure"
+        assert payload["exit_code"] == 0
+        assert payload["campaign"]["workers"] == 2
+        assert payload["campaign"]["failed_trials"] == 0
+
+    def test_sojourn_json(self, tmp_path, capsys):
+        path = tmp_path / "sojourn.json"
+        assert main(["sojourn", "--r", "30", "--s", "2",
+                     "--json", str(path)]) == 0
+        assert json.loads(path.read_text())["winner"] == "lock-free"
+
+    def test_faults_json(self, tmp_path, capsys):
+        path = tmp_path / "faults.json"
+        assert main(["faults", "--bursts", "0,2", "--repeats", "1",
+                     "--horizon-ms", "10", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "faults"
+        assert len(payload["degradation_levels"]) == 2
+
+
+class TestFailurePolicy:
+    def test_terminal_failures_over_budget_exit_4(self, tmp_path, capsys):
+        # One retry only and a transient chaos fault on trial 0: the
+        # trial fails terminally, which exceeds --max-failures 0.
+        assert main(FIG + ["--chaos-transient", "0",
+                           "--trial-retries", "1"]) == 4
+        assert "campaign FAILED" in capsys.readouterr().err
+
+    def test_failures_within_budget_exit_0(self, tmp_path, capsys):
+        assert main(FIG + ["--chaos-transient", "0",
+                           "--trial-retries", "1",
+                           "--max-failures", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 failed" in out       # annotated, not fatal
+
+    def test_recovered_transient_is_not_a_failure(self, tmp_path, capsys):
+        path = tmp_path / "fig.json"
+        assert main(FIG + ["--chaos-transient", "0",
+                           "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["campaign"]["failed_trials"] == 0
+        assert payload["campaign"]["attempt_failures"] == {"transient": 1}
+
+    def test_bad_campaign_flags_exit_2(self, capsys):
+        assert main(FIG + ["--workers", "0"]) == 2
+        assert main(FIG + ["--workers", "2", "--trial-retries", "0"]) == 2
+        assert main(FIG + ["--workers", "2", "--trial-timeout=-1"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err
+        assert "--trial-retries" in err
+        assert "--trial-timeout" in err
+
+    def test_resume_from_missing_journal_exits_2(self, tmp_path, capsys):
+        assert main(FIG + ["--resume",
+                           str(tmp_path / "missing.jsonl")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_resume_tag_mismatch_exits_2(self, tmp_path, capsys):
+        journal = tmp_path / "fig10.jsonl"
+        assert main(FIG + ["--journal", str(journal)]) == 0
+        capsys.readouterr()
+        assert main(["figure", "fig8", "--repeats", "1",
+                     "--horizon-ms", "10", "--resume", str(journal)]) == 2
+        assert "journal error" in capsys.readouterr().err
+
+
+class TestAcceptance:
+    """The PR acceptance scenario, end to end through the CLI."""
+
+    @pytest.mark.slow
+    def test_crashed_and_hung_campaign_resumes_to_serial_results(
+            self, tmp_path, capsys):
+        serial_out = tmp_path / "serial.txt"
+        campaign_out = tmp_path / "campaign.txt"
+        resumed_out = tmp_path / "resumed.txt"
+        summary = tmp_path / "summary.json"
+        journal = tmp_path / "journal.jsonl"
+
+        # 1. Clean serial reference run (same base seeds by construction).
+        assert main(FIG + ["--out", str(serial_out)]) == 0
+
+        # 2. Parallel campaign: 4 workers, one injected worker crash
+        #    (trial 2) and one hung trial (trial 5) that trips the
+        #    per-trial timeout.  Both are retried and recover, so the
+        #    campaign completes with zero *terminal* failures...
+        assert main(FIG + ["--workers", "4",
+                           "--trial-timeout", "1.0",
+                           "--chaos-crash", "2",
+                           "--chaos-hang", "5",
+                           "--chaos-hang-seconds", "20",
+                           "--journal", str(journal),
+                           "--json", str(summary),
+                           "--out", str(campaign_out),
+                           "--max-failures", "0"]) == 0
+        # ... and reports both injected faults in its summary.
+        payload = json.loads(summary.read_text())
+        assert payload["campaign"]["failed_trials"] == 0
+        kinds = payload["campaign"]["attempt_failures"]
+        assert kinds.get("crash", 0) >= 1
+        assert kinds.get("timeout", 0) >= 1
+        rendered = campaign_out.read_text()
+        assert "campaign:" in rendered and "failed attempts" in rendered
+        # The campaign's data agrees with the clean serial run already.
+        assert _normalize(rendered) == _normalize(serial_out.read_text())
+
+        # 3. Simulate a kill mid-journal-append: tear the last record.
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:12])
+
+        # 4. Resume.  Journaled trials replay from disk, the torn one
+        #    recomputes, and the rendered figure matches the clean
+        #    serial run exactly.
+        capsys.readouterr()
+        assert main(FIG + ["--workers", "4",
+                           "--resume", str(journal),
+                           "--out", str(resumed_out)]) == 0
+        assert "from journal" in capsys.readouterr().out
+        assert _normalize(resumed_out.read_text()) == \
+               _normalize(serial_out.read_text())
