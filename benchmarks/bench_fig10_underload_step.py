@@ -8,7 +8,12 @@ lock-based degrades as contention grows.
 from repro.experiments.figures import fig10
 from repro.units import MS
 
-from conftest import campaign_config, run_once_benchmark, save_figure
+from conftest import (
+    campaign_config,
+    record_bench,
+    run_once_benchmark,
+    save_figure,
+)
 
 
 def test_fig10_underload_step(benchmark):
@@ -19,6 +24,9 @@ def test_fig10_underload_step(benchmark):
                       campaign=campaign_config("fig10_underload_step")),
     )
     save_figure("fig10_underload_step", result.render())
+    record_bench(benchmark, "fig10_underload_step",
+                 {s.label: round(s.means()[-1], 6)
+                  for s in result.series})
     by_label = {s.label: s for s in result.series}
     assert all(v > 0.95 for v in by_label["AUR lock-free"].means())
     assert all(v > 0.95 for v in by_label["CMR lock-free"].means())

@@ -9,7 +9,12 @@ time no longer implies full utility).
 from repro.experiments.figures import fig11
 from repro.units import MS
 
-from conftest import campaign_config, run_once_benchmark, save_figure
+from conftest import (
+    campaign_config,
+    record_bench,
+    run_once_benchmark,
+    save_figure,
+)
 
 
 def test_fig11_underload_hetero(benchmark):
@@ -20,6 +25,9 @@ def test_fig11_underload_hetero(benchmark):
                       campaign=campaign_config("fig11_underload_hetero")),
     )
     save_figure("fig11_underload_hetero", result.render())
+    record_bench(benchmark, "fig11_underload_hetero",
+                 {s.label: round(s.means()[-1], 6)
+                  for s in result.series})
     by_label = {s.label: s for s in result.series}
     assert all(v > 0.95 for v in by_label["CMR lock-free"].means())
     assert all(v > 0.85 for v in by_label["AUR lock-free"].means())

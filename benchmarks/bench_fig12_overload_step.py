@@ -8,7 +8,12 @@ grow; lock-free holds, higher by as much as ~65 % AUR / ~80 % CMR.
 from repro.experiments.figures import fig12
 from repro.units import MS
 
-from conftest import campaign_config, run_once_benchmark, save_figure
+from conftest import (
+    campaign_config,
+    record_bench,
+    run_once_benchmark,
+    save_figure,
+)
 
 
 def test_fig12_overload_step(benchmark):
@@ -19,6 +24,9 @@ def test_fig12_overload_step(benchmark):
                       campaign=campaign_config("fig12_overload_step")),
     )
     save_figure("fig12_overload_step", result.render())
+    record_bench(benchmark, "fig12_overload_step",
+                 {s.label: round(s.means()[-1], 6)
+                  for s in result.series})
     by_label = {s.label: s for s in result.series}
     lf_aur = by_label["AUR lock-free"].means()
     lb_aur = by_label["AUR lock-based"].means()

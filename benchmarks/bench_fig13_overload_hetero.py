@@ -8,7 +8,12 @@ lock-free holds a wide margin.
 from repro.experiments.figures import fig13
 from repro.units import MS
 
-from conftest import campaign_config, run_once_benchmark, save_figure
+from conftest import (
+    campaign_config,
+    record_bench,
+    run_once_benchmark,
+    save_figure,
+)
 
 
 def test_fig13_overload_hetero(benchmark):
@@ -19,6 +24,9 @@ def test_fig13_overload_hetero(benchmark):
                       campaign=campaign_config("fig13_overload_hetero")),
     )
     save_figure("fig13_overload_hetero", result.render())
+    record_bench(benchmark, "fig13_overload_hetero",
+                 {s.label: round(s.means()[-1], 6)
+                  for s in result.series})
     by_label = {s.label: s for s in result.series}
     lf_aur = by_label["AUR lock-free"].means()
     lb_aur = by_label["AUR lock-based"].means()

@@ -17,6 +17,8 @@ from repro.experiments.workloads import paper_taskset
 from repro.sim.locks import LockManager
 from repro.tasks.job import Job
 
+from conftest import record_bench
+
 
 def _jobs_with_contention(n):
     rng = random.Random(0)
@@ -64,4 +66,8 @@ def test_lockbased_pass_slower_than_lockfree():
 
     t_lb = timed(lambda: lockbased.schedule(jobs, locks, now=0))
     t_lf = timed(lambda: lockfree.schedule(jobs, None, now=0))
+    record_bench(None, "scheduler_cost", {
+        "t_lockbased_s": round(t_lb, 6),
+        "t_lockfree_s": round(t_lf, 6),
+    })
     assert t_lb > t_lf

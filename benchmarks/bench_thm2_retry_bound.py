@@ -11,7 +11,12 @@ from repro.experiments.figures import thm2_validation
 from repro.sim.objects import RetryPolicy
 from repro.units import MS
 
-from conftest import campaign_config, run_once_benchmark, save_figure
+from conftest import (
+    campaign_config,
+    record_bench,
+    run_once_benchmark,
+    save_figure,
+)
 
 
 def test_thm2_retry_bound(benchmark):
@@ -22,6 +27,9 @@ def test_thm2_retry_bound(benchmark):
                                 campaign=campaign_config("thm2_retry_bound")),
     )
     save_figure("thm2_retry_bound", result.render())
+    record_bench(benchmark, "thm2_retry_bound",
+                 {s.label: round(s.means()[-1], 6)
+                  for s in result.series})
     measured, bound = result.series
     for m, b in zip(measured.estimates, bound.estimates):
         assert m.mean <= b.mean, "Theorem 2 bound violated"

@@ -58,3 +58,23 @@ def run_once_benchmark(benchmark, fn):
     are seconds-long simulations; statistical timing repeats are not
     meaningful and would multiply runtime)."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def record_bench(benchmark, name: str, metrics: dict) -> None:
+    """Append this run to the ``BENCH_<name>.json`` perf trajectory
+    (under ``benchmarks/out/``; override with
+    ``REPRO_BENCH_BASELINE_DIR``).  Call after ``run_once_benchmark`` so
+    the benchmark's measured wall time is available."""
+    from repro.obs.bench import record_bench_baseline
+
+    wall = None
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        try:
+            wall = float(stats.stats.mean)
+        except AttributeError:  # pragma: no cover - stats shape change
+            wall = None
+    directory = os.environ.get("REPRO_BENCH_BASELINE_DIR") or OUT_DIR
+    path = record_bench_baseline(name, metrics, wall_s=wall,
+                                 directory=directory)
+    print(f"bench baseline appended to {path}")

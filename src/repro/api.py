@@ -27,6 +27,11 @@ from repro.campaign import (           # noqa: F401 - public re-exports
     atomic_write,
 )
 
+from repro.obs import (                # noqa: F401 - public re-exports
+    NULL_OBSERVER,
+    Observer,
+)
+
 from repro.arrivals.generators import generator_for
 from repro.core.edf import EDF
 from repro.faults.degradation import AdmissionPolicy, RetryGuard
@@ -87,13 +92,16 @@ def simulate(tasks: list[TaskSpec], sync: str, horizon: int, seed: int,
              fault_plan: "FaultPlan | None" = None,
              admission: "AdmissionPolicy | None" = None,
              retry_guard: "RetryGuard | None" = None,
-             monitors: bool = False) -> SimulationSummary:
+             monitors: bool = False,
+             observer=None) -> SimulationSummary:
     """Run one simulation of ``tasks`` under the given sync style.
 
     The optional fault/degradation arguments (see :mod:`repro.faults`)
     inject a deterministic fault plan, guard UAM admission, bound
     lock-free retries, and attach the runtime invariant monitors; the
     run's degradation report lands on ``summary.result.degradation``.
+    ``observer`` attaches a recording :class:`repro.obs.Observer`; its
+    end-of-run summary lands on ``summary.result.obs``.
     """
     rng = random.Random(seed)
     traces = [
@@ -113,6 +121,7 @@ def simulate(tasks: list[TaskSpec], sync: str, horizon: int, seed: int,
         admission=admission,
         retry_guard=retry_guard,
         monitors=monitors,
+        observer=observer,
     )
     result = Kernel(config).run()
     return SimulationSummary(
@@ -132,7 +141,8 @@ def quick_simulation(n_tasks: int = 5,
                      horizon_us: int = 500_000,
                      seed: int = 0,
                      tuf_class: str = "step",
-                     arrival_style: str = "uniform") -> SimulationSummary:
+                     arrival_style: str = "uniform",
+                     observer=None) -> SimulationSummary:
     """One-call random-workload simulation (see the package docstring).
 
     ``horizon_us`` is in microseconds for convenience; everything else in
@@ -152,7 +162,8 @@ def quick_simulation(n_tasks: int = 5,
         target_load=load,
     )
     return simulate(tasks, sync=sync, horizon=horizon_us * 1_000,
-                    seed=seed + 1, arrival_style=arrival_style)
+                    seed=seed + 1, arrival_style=arrival_style,
+                    observer=observer)
 
 
 def run_simulations(seeds: list[int],

@@ -36,6 +36,7 @@ from multiprocessing import get_context
 from typing import Any, Callable, Sequence
 
 from repro.campaign.journal import CampaignJournal, JournalError, load_journal
+from repro.obs.observer import NULL_OBSERVER, NullObserver
 from repro.campaign.seeding import backoff_delay, derive_seed
 from repro.campaign.spec import (
     RETRYABLE_KINDS,
@@ -73,11 +74,13 @@ class CampaignEngine:
     def __init__(self, config: CampaignConfig | None = None, *,
                  tag: str = "campaign",
                  clock: Callable[[], float] = time.monotonic,
-                 sleep: Callable[[float], None] = time.sleep) -> None:
+                 sleep: Callable[[float], None] = time.sleep,
+                 observer: NullObserver | None = None) -> None:
         self.config = config or CampaignConfig()
         self.tag = tag
         self._clock = clock
         self._sleep = sleep
+        self.obs = observer if observer is not None else NULL_OBSERVER
         self._next_index = 0
         self.outcomes: list[TrialOutcome] = []
         self._cache: dict[int, Any] = {}
@@ -155,15 +158,33 @@ class CampaignEngine:
     def _checkpoint(self, outcome: TrialOutcome) -> None:
         if self._journal is not None and not outcome.from_journal:
             self._journal.record(outcome)
+            self.obs.counter("campaign.journal_writes")
+
+    def _note_outcome(self, outcome: TrialOutcome) -> None:
+        if not self.obs.enabled:
+            return
+        self.obs.counter("campaign.trials")
+        self.obs.counter("campaign.ok" if outcome.ok
+                         else "campaign.failed")
+        if outcome.from_journal:
+            self.obs.counter("campaign.from_journal")
+        if outcome.wall_s is not None:
+            self.obs.histogram("campaign.trial_wall_s", outcome.wall_s)
+        for failure in outcome.failures:
+            self.obs.counter(f"campaign.attempt_failures.{failure.kind}")
 
     def _backoff(self, gidx: int, attempt: int) -> float:
         cfg = self.config
-        return backoff_delay(
+        delay = backoff_delay(
             attempt,
             base=cfg.backoff_base, factor=cfg.backoff_factor,
             cap=cfg.backoff_cap, jitter=cfg.backoff_jitter,
             seed=derive_seed(cfg.retry_seed, gidx, f"backoff:{attempt}"),
         )
+        if self.obs.enabled:
+            self.obs.counter("campaign.retries")
+            self.obs.histogram("campaign.backoff_s", delay)
+        return delay
 
     def _may_retry(self, kind: str, attempts: int) -> bool:
         return kind in RETRYABLE_KINDS and attempts < self.config.max_attempts
@@ -179,10 +200,12 @@ class CampaignEngine:
             gidx = base + position
             cached = self._cached_outcome(gidx)
             if cached is not None:
+                self._note_outcome(cached)
                 outcomes.append(cached)
                 continue
             outcome = self._run_one_serial(spec, gidx)
             self._checkpoint(outcome)
+            self._note_outcome(outcome)
             outcomes.append(outcome)
         return outcomes
 
@@ -193,9 +216,11 @@ class CampaignEngine:
             try:
                 if self.config.chaos is not None:
                     self.config.chaos.fire(gidx, attempt, in_worker=False)
+                started = self._clock()
                 value = spec.call()
                 return TrialOutcome(index=gidx, ok=True, value=value,
-                                    attempts=attempt + 1, failures=failures)
+                                    attempts=attempt + 1, failures=failures,
+                                    wall_s=self._clock() - started)
             except Exception as exc:
                 kind = _classify(exc)
                 failures.append(TrialFailure(index=gidx, attempt=attempt,
@@ -246,6 +271,7 @@ class CampaignEngine:
             by_index[gidx] = spec
             cached = self._cached_outcome(gidx)
             if cached is not None:
+                self._note_outcome(cached)
                 done[gidx] = cached
             else:
                 attempts[gidx] = 0
@@ -254,13 +280,17 @@ class CampaignEngine:
         ready.sort()
 
         executor: ProcessPoolExecutor | None = None
-        running: dict[Future, tuple[int, float | None]] = {}
+        # Future -> (gidx, deadline, submit time).
+        running: dict[Future, tuple[int, float | None, float]] = {}
 
-        def finalize(gidx: int, ok: bool, value: Any = None) -> None:
+        def finalize(gidx: int, ok: bool, value: Any = None,
+                     wall_s: float | None = None) -> None:
             outcome = TrialOutcome(index=gidx, ok=ok, value=value,
                                    attempts=attempts[gidx],
-                                   failures=failures[gidx])
+                                   failures=failures[gidx],
+                                   wall_s=wall_s)
             self._checkpoint(outcome)
+            self._note_outcome(outcome)
             done[gidx] = outcome
 
         def fail(gidx: int, kind: str, message: str) -> None:
@@ -277,7 +307,7 @@ class CampaignEngine:
 
         def requeue_collateral() -> None:
             """Re-queue in-flight trials after a pool kill, uncharged."""
-            for future, (gidx, _) in list(running.items()):
+            for future, (gidx, _, _) in list(running.items()):
                 if gidx in done or any(g == gidx for _, g in ready):
                     continue
                 ready.append((self._clock(), gidx))
@@ -298,7 +328,9 @@ class CampaignEngine:
                         _execute_trial, spec.fn, spec.args, spec.kwargs,
                         chaos, gidx, attempts[gidx])
                     deadline = None if timeout is None else now + timeout
-                    running[future] = (gidx, deadline)
+                    running[future] = (gidx, deadline, self._clock())
+                if self.obs.enabled:
+                    self.obs.histogram("campaign.workers_busy", len(running))
                 if not running:
                     # Everything pending is backing off; sleep it out.
                     if ready:
@@ -306,7 +338,7 @@ class CampaignEngine:
                     continue
 
                 waits = [deadline - now
-                         for _, deadline in running.values()
+                         for _, deadline, _ in running.values()
                          if deadline is not None]
                 if len(running) < self.config.workers:
                     waits += [not_before - now for not_before, _ in ready]
@@ -316,11 +348,12 @@ class CampaignEngine:
 
                 pool_broken = False
                 for future in completed:
-                    gidx, _ = running.pop(future)
+                    gidx, _, started = running.pop(future)
                     exc = future.exception()
                     if exc is None:
                         attempts[gidx] += 1
-                        finalize(gidx, ok=True, value=future.result())
+                        finalize(gidx, ok=True, value=future.result(),
+                                 wall_s=self._clock() - started)
                     else:
                         kind = _classify(exc)
                         if kind == "crash":
@@ -328,10 +361,11 @@ class CampaignEngine:
                         fail(gidx, kind, f"{type(exc).__name__}: {exc}")
 
                 now = self._clock()
-                expired = [future for future, (_, deadline) in running.items()
+                expired = [future
+                           for future, (_, deadline, _) in running.items()
                            if deadline is not None and now >= deadline]
                 for future in expired:
-                    gidx, _ = running.pop(future)
+                    gidx, _, _ = running.pop(future)
                     fail(gidx, "timeout",
                          f"trial exceeded {timeout:.3g}s wall-clock budget")
 

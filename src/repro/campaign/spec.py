@@ -89,6 +89,9 @@ class TrialOutcome:
     attempts: int = 0            # attempts actually executed this run
     failures: list[TrialFailure] = field(default_factory=list)
     from_journal: bool = False   # satisfied from a resume journal
+    #: Wall-clock seconds of the successful attempt (submit-to-done under
+    #: parallel execution); None for journal hits and failed trials.
+    wall_s: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -97,6 +100,7 @@ class TrialOutcome:
             "attempts": self.attempts,
             "from_journal": self.from_journal,
             "failures": [f.to_dict() for f in self.failures],
+            "wall_s": self.wall_s,
         }
 
 

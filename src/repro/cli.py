@@ -9,7 +9,14 @@ Commands:
 * ``sojourn`` — evaluate the Theorem 3 comparison for given parameters;
 * ``faults`` — the CML-under-faults degradation campaign: inject
   out-of-spec arrival bursts, compare shedding on vs off, and write the
-  degradation report.
+  degradation report;
+* ``profile`` — one fully instrumented run (``repro.obs``): Chrome
+  trace-event JSON for ``chrome://tracing``/Perfetto, JSONL event
+  streams, a perf-summary table, and ``BENCH_*.json`` baselines.
+
+Every command's ``--json`` payload carries an ``obs`` block: the
+observability summary of the run (``{"enabled": false}`` when nothing
+was instrumented).
 
 Campaign resilience (``figure``/``retrybound``/``faults``): ``--workers N``
 fans trials out to crash-isolated worker processes, ``--trial-timeout``
@@ -38,6 +45,7 @@ from repro.campaign import (
 )
 from repro.experiments import figures
 from repro.experiments.faults import cml_under_faults
+from repro.obs import Observer
 from repro.units import MS
 
 FIGURES = {
@@ -142,9 +150,11 @@ def _campaign_exit(stats: CampaignStats | None, args) -> int:
     return 0
 
 
-def _write_json(args, payload: dict) -> None:
+def _write_json(args, payload: dict, obs: dict | None = None) -> None:
     path = getattr(args, "json", None)
     if path:
+        payload = {**payload,
+                   "obs": obs if obs is not None else {"enabled": False}}
         atomic_write(path, json.dumps(payload, indent=2, sort_keys=True,
                                       allow_nan=True) + "\n")
         print(f"json summary written to {path}")
@@ -208,6 +218,39 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write a machine-readable summary")
     _add_campaign_args(faults)
 
+    profile = sub.add_parser(
+        "profile",
+        help="instrumented profiling run: Chrome trace, JSONL events, "
+             "perf summary, BENCH baselines (repro.obs)")
+    profile.add_argument("--workload",
+                         choices=["step", "hetero", "interference"],
+                         default="step")
+    profile.add_argument("--sync",
+                         choices=["lockfree", "lockbased", "ideal", "edf"],
+                         default="lockfree")
+    profile.add_argument("--tasks", type=int, default=10)
+    profile.add_argument("--objects", type=int, default=10)
+    profile.add_argument("--load", type=float, default=0.6)
+    profile.add_argument("--horizon-ms", type=int, default=100)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--retry-policy",
+                         choices=["preemption", "conflict"],
+                         default="preemption",
+                         help="lock-free retry model: pessimistic "
+                              "per-preemption (Lemma 1) or "
+                              "commit-conflict (default: preemption)")
+    profile.add_argument("--trace", default=None, metavar="PATH",
+                         help="write Chrome trace-event JSON "
+                              "(chrome://tracing, Perfetto)")
+    profile.add_argument("--jsonl", default=None, metavar="PATH",
+                         help="write the event stream as JSON lines")
+    profile.add_argument("--summary-out", default=None, metavar="PATH",
+                         help="also write the perf-summary table to a file")
+    profile.add_argument("--bench", default=None, metavar="NAME",
+                         help="append a run entry to BENCH_<NAME>.json")
+    profile.add_argument("--json", default=None, metavar="PATH",
+                         help="write a machine-readable summary")
+
     sojourn = sub.add_parser("sojourn",
                              help="Theorem 3 sojourn comparison")
     sojourn.add_argument("--r", type=float, required=True,
@@ -231,6 +274,8 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_quick(args) -> int:
     syncs = args.sync or ["ideal", "edf", "lockfree", "lockbased"]
     rows = []
+    # One shared observer: the JSON obs block aggregates all four runs.
+    observer = Observer() if args.json else None
     print(f"{'style':<10} {'AUR':>6} {'CMR':>6} {'jobs':>6} "
           f"{'retries':>8} {'blocked':>8}")
     for sync in syncs:
@@ -238,6 +283,7 @@ def _cmd_quick(args) -> int:
             n_tasks=args.tasks, n_objects=args.objects, sync=sync,
             load=args.load, horizon_us=args.horizon_ms * 1000,
             seed=args.seed, tuf_class=args.tuf_class,
+            observer=observer,
         )
         result = summary.result
         print(f"{sync:<10} {summary.aur:6.3f} {summary.cmr:6.3f} "
@@ -252,14 +298,17 @@ def _cmd_quick(args) -> int:
             "blockings": result.total_blockings,
         })
     _write_json(args, {"command": "quick", "seed": args.seed,
-                       "load": args.load, "rows": rows})
+                       "load": args.load, "rows": rows},
+                obs=observer.summary() if observer is not None else None)
     return 0
 
 
 def _cmd_figure(args) -> int:
     fn = FIGURES[args.name]
     campaign = _campaign_from_args(args)
-    engine = (CampaignEngine(campaign, tag=f"figure:{args.name}")
+    observer = Observer() if campaign is not None else None
+    engine = (CampaignEngine(campaign, tag=f"figure:{args.name}",
+                             observer=observer)
               if campaign is not None else None)
     try:
         if args.name == "fig9":
@@ -277,13 +326,16 @@ def _cmd_figure(args) -> int:
         print(f"figure table written to {args.out}")
     rc = _campaign_exit(result.campaign, args)
     _write_json(args, {"command": "figure", "name": args.name,
-                       "exit_code": rc, **result.to_dict()})
+                       "exit_code": rc, **result.to_dict()},
+                obs=observer.summary() if observer is not None else None)
     return rc
 
 
 def _cmd_retrybound(args) -> int:
     campaign = _campaign_from_args(args)
-    engine = (CampaignEngine(campaign, tag="figure:thm2")
+    observer = Observer() if campaign is not None else None
+    engine = (CampaignEngine(campaign, tag="figure:thm2",
+                             observer=observer)
               if campaign is not None else None)
     try:
         result = figures.thm2_validation(repeats=args.repeats,
@@ -301,7 +353,8 @@ def _cmd_retrybound(args) -> int:
     if violated:
         rc = rc or 1
     _write_json(args, {"command": "retrybound", "violated": violated,
-                       "exit_code": rc, **result.to_dict()})
+                       "exit_code": rc, **result.to_dict()},
+                obs=observer.summary() if observer is not None else None)
     return rc
 
 
@@ -320,7 +373,9 @@ def _cmd_faults(args) -> int:
               file=sys.stderr)
         return 2
     campaign_cfg = _campaign_from_args(args)
-    engine = (CampaignEngine(campaign_cfg, tag="faults")
+    observer = Observer() if campaign_cfg is not None else None
+    engine = (CampaignEngine(campaign_cfg, tag="faults",
+                             observer=observer)
               if campaign_cfg is not None else None)
     try:
         campaign = cml_under_faults(
@@ -343,8 +398,49 @@ def _cmd_faults(args) -> int:
         print(f"degradation report written to {args.out}")
     rc = _campaign_exit(campaign.figure.campaign, args)
     _write_json(args, {"command": "faults", "exit_code": rc,
-                       **campaign.to_dict()})
+                       **campaign.to_dict()},
+                obs=observer.summary() if observer is not None else None)
     return rc
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.bench import record_bench_baseline
+    from repro.obs.exporters import (
+        render_summary,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from repro.obs.profile import run_profile
+
+    prof = run_profile(
+        workload=args.workload, sync=args.sync, n_tasks=args.tasks,
+        n_objects=args.objects, load=args.load,
+        horizon_us=args.horizon_ms * 1000, seed=args.seed,
+        retry_policy=args.retry_policy,
+    )
+    summary = prof.observer.summary()
+    text = render_summary(
+        summary,
+        title=(f"profile: {args.workload}/{args.sync} "
+               f"seed={args.seed} wall={prof.wall_s:.3f}s"))
+    print(text)
+    if args.trace:
+        write_chrome_trace(args.trace, prof.observer, prof.tracer)
+        print(f"chrome trace written to {args.trace} "
+              f"(load in chrome://tracing or ui.perfetto.dev)")
+    if args.jsonl:
+        write_jsonl(args.jsonl, prof.observer)
+        print(f"event stream written to {args.jsonl}")
+    if args.summary_out:
+        atomic_write(args.summary_out, text + "\n")
+        print(f"perf summary written to {args.summary_out}")
+    if args.bench:
+        path = record_bench_baseline(args.bench, prof.bench_metrics(),
+                                     wall_s=prof.wall_s)
+        print(f"bench baseline appended to {path}")
+    _write_json(args, {"command": "profile", **prof.headline()},
+                obs=summary)
+    return 0
 
 
 def _cmd_sojourn(args) -> int:
@@ -383,6 +479,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_retrybound(args)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
         if args.command == "sojourn":
             return _cmd_sojourn(args)
     except UsageError as exc:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from repro.obs.observer import NULL_OBSERVER, NullObserver
 from repro.sim.locks import LockManager
 from repro.sim.overheads import CostModel
 from repro.tasks.job import Job
@@ -28,6 +29,9 @@ class SchedulerPolicy(ABC):
     name: str = "policy"
     #: Simulated cost charged per scheduling pass.
     cost_model: CostModel
+    #: Observability sink (repro.obs).  The kernel replaces this with its
+    #: configured observer; policies guard hooks with ``self.obs.enabled``.
+    obs: NullObserver = NULL_OBSERVER
 
     def __init__(self) -> None:
         self._deadlock_victims: list[Job] = []

@@ -74,4 +74,15 @@ class LockBasedRUA(SchedulerPolicy):
             key=lambda job: (-puds[job], job.critical_time_abs, job.name),
         )
         # Step 5: tentative-schedule construction.
-        return build_rua_schedule(pud_order, chains, now)
+        order = build_rua_schedule(pud_order, chains, now)
+        if self.obs.enabled:
+            self.obs.counter("sched.passes")
+            self.obs.counter("sched.rejections",
+                             len(candidates) - len(order))
+            if victims:
+                self.obs.counter("sched.deadlock_victims", len(victims))
+            if chains:
+                self.obs.histogram(
+                    "sched.chain_len",
+                    max(len(chain) for chain in chains.values()))
+        return order

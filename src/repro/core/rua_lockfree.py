@@ -42,4 +42,8 @@ class LockFreeRUA(SchedulerPolicy):
             jobs,
             key=lambda job: (-puds[job], job.critical_time_abs, job.name),
         )
-        return build_rua_schedule(pud_order, chains, now)
+        order = build_rua_schedule(pud_order, chains, now)
+        if self.obs.enabled:
+            self.obs.counter("sched.passes")
+            self.obs.counter("sched.rejections", len(jobs) - len(order))
+        return order

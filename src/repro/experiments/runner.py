@@ -43,9 +43,11 @@ def run_once(tasks: list[TaskSpec], sync: str, horizon: int,
              fault_plan: "FaultPlan | None" = None,
              admission: "AdmissionPolicy | None" = None,
              retry_guard: "RetryGuard | None" = None,
-             monitors: bool = False) -> SimulationResult:
+             monitors: bool = False,
+             observer=None) -> SimulationResult:
     """One simulation of a concrete task set.  The optional fault layer
-    arguments mirror :class:`repro.sim.kernel.SimulationConfig`."""
+    and ``observer`` arguments mirror
+    :class:`repro.sim.kernel.SimulationConfig`."""
     traces = [
         generator_for(task.arrival, arrival_style).generate(rng, horizon)
         for task in tasks
@@ -64,6 +66,7 @@ def run_once(tasks: list[TaskSpec], sync: str, horizon: int,
         admission=admission,
         retry_guard=retry_guard,
         monitors=monitors,
+        observer=observer,
     )
     return Kernel(config).run()
 

@@ -92,6 +92,60 @@ class SeqStack:
         self._items = list(snap)
 
 
+class SeqSet:
+    """Sequential set specification (Harris/Valois linked list)."""
+
+    def __init__(self) -> None:
+        self._keys: set[Any] = set()
+
+    def apply(self, op: str, arg: Any) -> Any:
+        if op == "insert":
+            if arg in self._keys:
+                return False
+            self._keys.add(arg)
+            return True
+        if op == "delete":
+            if arg in self._keys:
+                self._keys.discard(arg)
+                return True
+            return False
+        if op == "contains":
+            return arg in self._keys
+        raise ValueError(f"unknown set op {op!r}")
+
+    def snapshot(self) -> frozenset:
+        return frozenset(self._keys)
+
+    def restore(self, snap: frozenset) -> None:
+        self._keys = set(snap)
+
+
+class SeqRegister:
+    """Sequential register specification (NBW / wait-free SWMR).
+
+    Reads ignore their argument (reader id), so the same spec covers the
+    multi-reader protocols.
+    """
+
+    def __init__(self, initial: Any = None) -> None:
+        self._value = initial
+        self._initial = initial
+
+    def apply(self, op: str, arg: Any) -> Any:
+        if op == "write":
+            self._value = arg
+            return None
+        if op == "read":
+            return self._value
+        raise ValueError(f"unknown register op {op!r}")
+
+    def snapshot(self) -> tuple:
+        return (self._value,)
+
+    def restore(self, snap: tuple) -> None:
+        (self._value,) = snap
+
+
 def _results_equal(a: Any, b: Any) -> bool:
     # Sentinels compare by identity; values by equality.
     if a is b:

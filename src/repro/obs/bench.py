@@ -1,0 +1,78 @@
+"""Perf-trajectory baselines: ``BENCH_<name>.json``.
+
+Every bench (and the ``repro profile --bench`` hook) appends one run
+record to a per-bench baseline file, so the repository accumulates a
+perf trajectory instead of only ever holding the latest table.  The file
+is a single JSON document::
+
+    {"bench": "kernel", "runs": [
+        {"seq": 1, "unix_time": ..., "wall_s": ..., "metrics": {...}},
+        ...
+    ]}
+
+Appends go through :func:`~repro.campaign.io.atomic_write` (load,
+extend, replace), so an interrupted bench leaves the previous trajectory
+intact.  ``unix_time``/``wall_s`` are wall-clock and therefore *not*
+covered by the determinism contract — baselines are measurements, not
+traces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.io import atomic_write
+
+#: Baselines are dropped next to the caller's working directory unless a
+#: directory is given; CI points this at the checkout root.
+ENV_BASELINE_DIR = "REPRO_BENCH_BASELINE_DIR"
+
+#: Trajectory length cap: keeps baseline files reviewable while holding
+#: far more history than any regression check needs.
+MAX_RUNS = 200
+
+
+def baseline_path(name: str, directory: str | os.PathLike | None = None
+                  ) -> Path:
+    base = Path(directory or os.environ.get(ENV_BASELINE_DIR) or ".")
+    return base / f"BENCH_{name}.json"
+
+
+def load_baseline(name: str, directory: str | os.PathLike | None = None
+                  ) -> dict[str, Any]:
+    """The current trajectory document (empty skeleton when absent or
+    unreadable — a corrupt baseline must not fail a bench)."""
+    path = baseline_path(name, directory)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if (isinstance(document, dict)
+                and isinstance(document.get("runs"), list)):
+            return document
+    except (OSError, json.JSONDecodeError):
+        pass
+    return {"bench": name, "runs": []}
+
+
+def record_bench_baseline(name: str, metrics: dict[str, Any],
+                          wall_s: float | None = None,
+                          directory: str | os.PathLike | None = None,
+                          now: float | None = None) -> Path:
+    """Append one run record to ``BENCH_<name>.json`` and return its
+    path.  ``metrics`` must be JSON-serializable scalars/containers."""
+    document = load_baseline(name, directory)
+    runs = document["runs"]
+    runs.append({
+        "seq": (runs[-1]["seq"] + 1) if runs else 1,
+        "unix_time": round(now if now is not None else time.time(), 3),
+        "wall_s": None if wall_s is None else round(wall_s, 6),
+        "metrics": metrics,
+    })
+    document["runs"] = runs[-MAX_RUNS:]
+    path = baseline_path(name, directory)
+    atomic_write(path, json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,128 @@
+"""Observability event model (DESIGN.md §10).
+
+Three primitive shapes, all immutable once recorded:
+
+* :class:`SpanEvent` — a named interval on the *simulated* clock
+  (nanosecond ticks), carried by a ``tid`` lane (a task name, a job
+  name, or ``"kernel"``).  Spans are what Perfetto renders as bars.
+* :class:`InstantEvent` — a point happening (a retry, a preemption, an
+  injected fault) at one simulated instant.
+* :class:`Histogram` — a value distribution (retries per job, sojourn
+  times, per-decision scheduler cost).  Histograms keep their raw values
+  (runs are bounded), so exact quantiles are available and summaries are
+  deterministic.
+
+Everything here is a pure function of the simulation, so two runs with
+the same seed produce byte-identical event streams — the determinism
+contract the exporters and the overhead-guard test rely on.  Wall-clock
+measurements (which are *not* deterministic) never enter these types;
+they live in :class:`repro.obs.observer.Observer`'s decision samples and
+are exported only through aggregate summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+Args = tuple[tuple[str, Any], ...]
+
+
+def freeze_args(args: dict[str, Any] | None) -> Args:
+    """Normalize an args mapping into a sorted, hashable tuple."""
+    if not args:
+        return ()
+    return tuple(sorted(args.items()))
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A complete interval ``[start, start + duration]`` in sim ticks."""
+
+    name: str
+    cat: str
+    tid: str
+    start: int
+    duration: int
+    args: Args = ()
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"span {self.name!r} has negative duration")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "span", "name": self.name, "cat": self.cat,
+                "tid": self.tid, "start": self.start,
+                "duration": self.duration, "args": dict(self.args)}
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """A point happening at one simulated instant."""
+
+    name: str
+    cat: str
+    tid: str
+    ts: int
+    args: Args = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "instant", "name": self.name, "cat": self.cat,
+                "tid": self.tid, "ts": self.ts, "args": dict(self.args)}
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One cumulative-counter observation, exported as a Chrome ``ph:C``
+    counter track (e.g. per-object retry totals over simulated time)."""
+
+    name: str
+    ts: int
+    value: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "name": self.name, "ts": self.ts,
+                "value": self.value}
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted, non-empty sample."""
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass
+class Histogram:
+    """A value distribution with exact, deterministic summaries."""
+
+    values: list[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    def summary(self) -> dict[str, float | int]:
+        """Count/min/mean/p50/p90/max — empty histograms summarize to a
+        bare count so JSON stays NaN-free."""
+        if not self.values:
+            return {"count": 0}
+        ordered = sorted(self.values)
+        return {
+            "count": len(ordered),
+            "min": ordered[0],
+            "mean": sum(ordered) / len(ordered),
+            "p50": _quantile(ordered, 0.50),
+            "p90": _quantile(ordered, 0.90),
+            "max": ordered[-1],
+        }

@@ -41,6 +41,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.monitors import MonitorSuite
 from repro.faults.plan import FaultPlan
 from repro.faults.report import DegradationReport
+from repro.obs.observer import NULL_OBSERVER, NullObserver
 from repro.sim.engine import EventQueue
 from repro.sim.events import (
     CriticalTimeExpiry,
@@ -88,6 +89,10 @@ class SimulationConfig:
     * ``monitors`` — online invariant monitors (Theorem 2 retry bound,
       clock monotonicity, lock state, abort point) recording violations
       into the result's degradation report.
+
+    ``observer`` attaches a recording :class:`repro.obs.Observer`; when
+    None (the default) the shared no-op singleton is used and the
+    instrumented hot paths cost one ``enabled`` attribute test each.
     """
 
     tasks: Sequence[TaskSpec]
@@ -104,6 +109,8 @@ class SimulationConfig:
     admission: AdmissionPolicy | None = None
     retry_guard: RetryGuard | None = None
     monitors: bool = False
+    # --- observability (optional; see repro.obs) -----------------------
+    observer: NullObserver | None = None
 
     def __post_init__(self) -> None:
         if len(self.tasks) != len(self.arrival_traces):
@@ -142,6 +149,16 @@ class Kernel:
     def __init__(self, config: SimulationConfig) -> None:
         self.config = config
         self.tracer = Tracer(enabled=config.trace)
+        self.obs = (config.observer if config.observer is not None
+                    else NULL_OBSERVER)
+        # The policy shares the kernel's sink (scheduler-internal hooks).
+        config.policy.obs = self.obs
+        # Lazy per-task Theorem 2 bounds for the live retry comparison
+        # (only computed — per task, once — when a retry is observed).
+        self._retry_bounds: dict[int, int | None] = {}
+        self._task_index = {
+            id(task): index for index, task in enumerate(config.tasks)
+        }
         self._queue = EventQueue()
         self._clock = 0
         self._live: list[Job] = []
@@ -204,6 +221,9 @@ class Kernel:
             self._handle(event)
         self._result.unfinished = sum(1 for j in self._live if j.is_live)
         self._result.degradation = self._report
+        if self.obs.enabled:
+            self.obs.close_open_spans(self._clock)
+            self._result.obs = self.obs.summary()
         return self._result
 
     # ------------------------------------------------------------------
@@ -250,11 +270,13 @@ class Kernel:
                 self.tracer.emit(self._clock, TraceKind.SHED,
                                  f"{task.name}#{event.jid}",
                                  detail="UAM max bound exceeded")
+                self.obs.counter("kernel.shed")
                 return
             if decision is Decision.DEFER:
                 self.tracer.emit(self._clock, TraceKind.DEFER,
                                  f"{task.name}#{event.jid}",
                                  detail=f"until={when}")
+                self.obs.counter("kernel.deferrals")
                 self._queue.push(when, EventPriority.ARRIVAL,
                                  JobArrival(task_index=event.task_index,
                                             jid=event.jid,
@@ -265,6 +287,10 @@ class Kernel:
         self._live.append(job)
         self._arm_critical_timer(job)
         self.tracer.emit(self._clock, TraceKind.ARRIVAL, job.name)
+        if self.obs.enabled:
+            self.obs.counter("kernel.arrivals")
+            self.obs.instant("arrival", "job", task.name, self._clock,
+                             {"job": job.name})
         self._reschedule()
 
     def _arm_critical_timer(self, job: Job) -> None:
@@ -350,6 +376,7 @@ class Kernel:
             waiter.state = JobState.READY
             waiter.blocked_on = None
             self.tracer.emit(self._clock, TraceKind.UNBLOCK, waiter.name)
+            self.obs.close_span(("block", waiter.name), self._clock)
         self.tracer.emit(self._clock, TraceKind.LOCK_RELEASE, job.name,
                          detail=str(obj))
 
@@ -432,6 +459,8 @@ class Kernel:
                              detail=f"obj={segment.obj} wasted={wasted}")
             if self._monitors is not None:
                 self._monitors.note_retry(self._clock, job)
+            if self.obs.enabled:
+                self._note_retry_obs(job, segment.obj, wasted)
             cost = self._cost("cas_overhead")
             self._result.lockfree_mechanism_time += cost + wasted
             if self.config.retry_guard is not None:
@@ -442,6 +471,39 @@ class Kernel:
                     cost += backoff
             return cost
         return 0
+
+    def _note_retry_obs(self, job: Job, obj, wasted: int) -> None:
+        """Per-object retry counter track, wasted-work histogram, and
+        the live comparison of this job's retry count against its
+        Theorem 2 bound (``theorem2.exceeded`` counts violations)."""
+        obs = self.obs
+        obs.tick_counter(f"retries.{obj}", self._clock)
+        obs.histogram("retry.wasted_ns", wasted)
+        obs.instant("retry", "lockfree", job.task.name, self._clock,
+                    {"job": job.name, "obj": str(obj), "wasted": wasted})
+        retries = self._objects.retries_of(job)
+        bound = self._retry_bound_of(job)
+        if bound is not None and retries > bound:
+            obs.counter("theorem2.exceeded")
+            obs.instant("retry_bound_exceeded", "lockfree", job.task.name,
+                        self._clock, {"job": job.name, "retries": retries,
+                                      "bound": bound})
+
+    def _retry_bound_of(self, job: Job) -> int | None:
+        """This task's Theorem 2 retry bound (lazily computed, cached;
+        None when the bound does not apply, e.g. injected tasks)."""
+        index = self._task_index.get(id(job.task))
+        if index is None:
+            return None
+        if index not in self._retry_bounds:
+            from repro.analysis.retry_bound import retry_bound_for_taskset
+
+            try:
+                self._retry_bounds[index] = retry_bound_for_taskset(
+                    list(self.config.tasks), index)
+            except (ValueError, ZeroDivisionError):
+                self._retry_bounds[index] = None
+        return self._retry_bounds[index]
 
     # ------------------------------------------------------------------
     # Scheduling and dispatch
@@ -461,6 +523,8 @@ class Kernel:
         passes = 0
         chosen: Job | None = None
         n = 0
+        obs = self.obs
+        wall_start = obs.clock() if obs.enabled else 0
         while True:
             live = [j for j in self._live if j.is_live]
             self._live = live
@@ -515,6 +579,14 @@ class Kernel:
                 now, [j for j in self._live if j.is_live], self._locks)
         self.tracer.emit(now, TraceKind.SCHED_PASS, "",
                          detail=f"n={n} cost={cost}")
+        if obs.enabled:
+            # Wall ns are summary-only (never exported into the trace);
+            # the span carries the deterministic simulated cost.
+            obs.decision(n, cost, obs.clock() - wall_start)
+            obs.span("sched.decision", "sched", "kernel", now, cost,
+                     {"n": n, "passes": passes,
+                      "chosen": chosen.name if chosen is not None else ""})
+            obs.histogram("sched.ready_queue", n)
         self._result.scheduler_overhead_time += cost
         if lock_event:
             self._result.lock_mechanism_time += (
@@ -546,6 +618,11 @@ class Kernel:
                 blocked_any = True
                 self.tracer.emit(now, TraceKind.BLOCK, job.name,
                                  detail=str(obj))
+                if self.obs.enabled:
+                    self.obs.counter("kernel.blockings")
+                    self.obs.open_span(("block", job.name),
+                                       f"blocked:{obj}", "lock",
+                                       job.task.name, now)
                 # The failed acquisition re-activates the scheduler.
                 activation = self.config.policy.cost_model.cost(n)
                 extra_cost += activation
@@ -586,6 +663,10 @@ class Kernel:
                     self.tracer.emit(now, TraceKind.FAULT, previous.name,
                                      detail="spurious access invalidation")
             self.tracer.emit(now, TraceKind.PREEMPT, previous.name)
+            if self.obs.enabled:
+                self.obs.counter("kernel.preemptions")
+                self.obs.instant("preempt", "job", previous.task.name, now,
+                                 {"job": previous.name})
         # Kernel work is serialized: overhead charged by an earlier pass
         # at this instant (abort handlers, timer service) delays this one.
         busy_from = max(now, self._kernel_free_at)
@@ -623,6 +704,14 @@ class Kernel:
         self._result.records.append(record_of(job))
         self.tracer.emit(self._clock, TraceKind.COMPLETE, job.name,
                          detail=f"utility={job.accrued_utility:.3f}")
+        if self.obs.enabled:
+            self.obs.counter("kernel.completions")
+            self.obs.histogram("job.sojourn_ns", job.sojourn_time())
+            self.obs.histogram("job.retries", job.retries)
+            self.obs.histogram("job.utility", job.accrued_utility)
+            self.obs.instant("complete", "job", job.task.name, self._clock,
+                             {"job": job.name,
+                              "utility": round(job.accrued_utility, 6)})
         if job is self._running:
             self._running = None
         # Departure is a scheduling event.
@@ -648,6 +737,12 @@ class Kernel:
             self._running = None
         self._result.records.append(record_of(job))
         self.tracer.emit(self._clock, TraceKind.ABORT, job.name)
+        if self.obs.enabled:
+            self.obs.close_span(("block", job.name), self._clock)
+            self.obs.counter("kernel.aborts")
+            self.obs.histogram("job.retries", job.retries)
+            self.obs.instant("abort", "job", job.task.name, self._clock,
+                             {"job": job.name})
 
     # ------------------------------------------------------------------
     # Execution accounting
@@ -665,6 +760,11 @@ class Kernel:
             if self._monitors is not None:
                 self._monitors.note_execution(
                     job, self._running_since, self._running_since + amount)
+            if self.obs.enabled:
+                self.obs.span("exec", "cpu", job.task.name,
+                              self._running_since, amount,
+                              {"job": job.name,
+                               "segment": job.segment_index})
         self._running_since = time
 
     def _cost(self, name: str) -> int:

@@ -98,6 +98,11 @@ class SimulationResult:
     #: retry-guard aborts, invariant-monitor findings.  None when the run
     #: used no fault plan, guard, or monitors.
     degradation: "DegradationReport | None" = None
+    # --- observability (repro.obs) ----------------------------------------
+    #: The attached observer's end-of-run summary (counters, histogram
+    #: digests, scheduler decision stats).  None when the run was not
+    #: instrumented.
+    obs: dict | None = None
 
     # ------------------------------------------------------------------
     # Paper metrics

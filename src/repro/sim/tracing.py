@@ -45,6 +45,12 @@ class TraceEvent:
         suffix = f" {self.detail}" if self.detail else ""
         return f"[{self.time:>12}] {self.kind.value:<13} {self.job}{suffix}"
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (the obs exporters embed trace events as an
+        extra lane in the Chrome trace)."""
+        return {"time": self.time, "kind": self.kind.value,
+                "job": self.job, "detail": self.detail}
+
 
 class Tracer:
     """Collects trace events; disabled tracers are near-free."""
@@ -66,3 +72,8 @@ class Tracer:
 
     def dump(self) -> str:
         return "\n".join(str(e) for e in self.events)
+
+    def clear(self) -> None:
+        """Drop recorded events (keeps ``enabled``); lets long-lived
+        harnesses bound memory between instrumented runs."""
+        self.events.clear()

@@ -65,6 +65,47 @@ def run_scenario(tasks, traces_us, sync=SyncMode.NONE, policy=None,
     return kernel, result
 
 
+def random_workload(rng, horizon_us: int = 20_000, kind: str | None = None):
+    """Seeded random workload for property-based tests.
+
+    Draws a small task set (paper step/hetero classes or the Theorem 2
+    interference set), then arrival traces over the horizon, all from
+    ``rng`` — so a single seed pins the entire scenario.  Returns
+    ``(tasks, traces, horizon)`` in nanoseconds, ready for
+    :class:`~repro.sim.kernel.SimulationConfig`.
+    """
+    from repro.arrivals.generators import generator_for
+    from repro.experiments.workloads import (
+        interference_taskset,
+        paper_taskset,
+    )
+
+    kind = kind or rng.choice(("step", "hetero", "interference"))
+    if kind == "interference":
+        tasks = interference_taskset(
+            rng, n_victims=2, n_interferers=2, n_objects=2,
+            max_arrivals=rng.randint(1, 2))
+    else:
+        n_objects = rng.randint(2, 4)
+        tasks = paper_taskset(
+            rng,
+            n_tasks=rng.randint(3, 6),
+            n_objects=n_objects,
+            accesses_per_job=rng.randint(1, min(2, n_objects)),
+            avg_exec=rng.randint(50, 200) * US,
+            target_load=rng.uniform(0.4, 1.2),
+            tuf_class=kind,
+            max_arrivals=rng.randint(1, 2),
+            access_duration=rng.choice((2, 20, 40)) * US,
+        )
+    horizon = horizon_us * US
+    traces = [
+        generator_for(task.arrival, "uniform").generate(rng, horizon)
+        for task in tasks
+    ]
+    return tasks, traces, horizon
+
+
 def zero_cost_policy(kind: str):
     """Policies with zero simulated pass cost (timing-exact tests)."""
     if kind == "edf":

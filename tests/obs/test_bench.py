@@ -1,0 +1,66 @@
+"""Unit tests for the BENCH_*.json perf-trajectory baselines."""
+
+import json
+
+from repro.obs.bench import (
+    ENV_BASELINE_DIR,
+    MAX_RUNS,
+    baseline_path,
+    load_baseline,
+    record_bench_baseline,
+)
+
+
+class TestBaselinePath:
+    def test_explicit_directory_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_BASELINE_DIR, "/somewhere/else")
+        assert baseline_path("kernel", tmp_path) == \
+            tmp_path / "BENCH_kernel.json"
+
+    def test_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_BASELINE_DIR, str(tmp_path))
+        assert baseline_path("kernel") == tmp_path / "BENCH_kernel.json"
+
+
+class TestLoadBaseline:
+    def test_missing_file_gives_skeleton(self, tmp_path):
+        assert load_baseline("kernel", tmp_path) == \
+            {"bench": "kernel", "runs": []}
+
+    def test_corrupt_file_gives_skeleton(self, tmp_path):
+        (tmp_path / "BENCH_kernel.json").write_text("{not json")
+        assert load_baseline("kernel", tmp_path)["runs"] == []
+
+    def test_wrong_shape_gives_skeleton(self, tmp_path):
+        (tmp_path / "BENCH_kernel.json").write_text('["a", "b"]')
+        assert load_baseline("kernel", tmp_path)["runs"] == []
+
+
+class TestRecordBenchBaseline:
+    def test_appends_with_increasing_seq(self, tmp_path):
+        record_bench_baseline("kernel", {"aur": 0.9}, wall_s=1.25,
+                              directory=tmp_path, now=100.0)
+        path = record_bench_baseline("kernel", {"aur": 0.8},
+                                     directory=tmp_path, now=200.0)
+        document = json.loads(path.read_text())
+        assert [run["seq"] for run in document["runs"]] == [1, 2]
+        assert document["runs"][0]["wall_s"] == 1.25
+        assert document["runs"][1]["wall_s"] is None
+        assert document["runs"][0]["metrics"] == {"aur": 0.9}
+        assert document["runs"][0]["unix_time"] == 100.0
+
+    def test_trajectory_is_capped(self, tmp_path):
+        for i in range(MAX_RUNS + 5):
+            record_bench_baseline("cap", {"i": i}, directory=tmp_path,
+                                  now=float(i))
+        runs = load_baseline("cap", tmp_path)["runs"]
+        assert len(runs) == MAX_RUNS
+        assert runs[-1]["metrics"] == {"i": MAX_RUNS + 4}
+        # seq keeps counting even after the cap trims old entries.
+        assert runs[-1]["seq"] == MAX_RUNS + 5
+
+    def test_survives_corrupt_previous_file(self, tmp_path):
+        (tmp_path / "BENCH_kernel.json").write_text("garbage")
+        path = record_bench_baseline("kernel", {"x": 1},
+                                     directory=tmp_path, now=1.0)
+        assert json.loads(path.read_text())["runs"][0]["seq"] == 1

@@ -1,0 +1,96 @@
+"""Unit tests for the observability event model."""
+
+import pytest
+
+from repro.obs.events import (
+    CounterSample,
+    Histogram,
+    InstantEvent,
+    SpanEvent,
+    freeze_args,
+)
+
+
+class TestFreezeArgs:
+    def test_none_and_empty(self):
+        assert freeze_args(None) == ()
+        assert freeze_args({}) == ()
+
+    def test_sorted_and_hashable(self):
+        frozen = freeze_args({"b": 2, "a": 1})
+        assert frozen == (("a", 1), ("b", 2))
+        hash(frozen)
+
+    def test_round_trips_through_dict(self):
+        args = {"job": "T0#1", "segment": 3}
+        assert dict(freeze_args(args)) == args
+
+
+class TestSpanEvent:
+    def test_end(self):
+        span = SpanEvent(name="exec", cat="cpu", tid="T0",
+                         start=10, duration=5)
+        assert span.end == 15
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SpanEvent(name="exec", cat="cpu", tid="T0",
+                      start=10, duration=-1)
+
+    def test_zero_duration_allowed(self):
+        assert SpanEvent(name="x", cat="c", tid="t",
+                         start=0, duration=0).end == 0
+
+    def test_to_dict(self):
+        span = SpanEvent(name="exec", cat="cpu", tid="T0", start=1,
+                         duration=2, args=freeze_args({"job": "T0#0"}))
+        assert span.to_dict() == {
+            "type": "span", "name": "exec", "cat": "cpu", "tid": "T0",
+            "start": 1, "duration": 2, "args": {"job": "T0#0"},
+        }
+
+
+class TestInstantAndCounter:
+    def test_instant_to_dict(self):
+        inst = InstantEvent(name="retry", cat="lockfree", tid="T1", ts=7)
+        assert inst.to_dict() == {
+            "type": "instant", "name": "retry", "cat": "lockfree",
+            "tid": "T1", "ts": 7, "args": {},
+        }
+
+    def test_counter_sample_to_dict(self):
+        sample = CounterSample(name="retries.0", ts=5, value=3)
+        assert sample.to_dict() == {
+            "type": "counter", "name": "retries.0", "ts": 5, "value": 3,
+        }
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        assert Histogram().summary() == {"count": 0}
+
+    def test_count_and_total(self):
+        hist = Histogram()
+        for v in (1.0, 2.0, 3.0):
+            hist.record(v)
+        assert hist.count == 3
+        assert hist.total == 6.0
+
+    def test_summary_statistics(self):
+        hist = Histogram([float(v) for v in range(1, 11)])
+        summary = hist.summary()
+        assert summary["count"] == 10
+        assert summary["min"] == 1.0
+        assert summary["max"] == 10.0
+        assert summary["mean"] == 5.5
+        assert summary["p50"] == 5.0   # nearest rank (round-half-even)
+        assert summary["p90"] == 9.0
+
+    def test_single_value(self):
+        summary = Histogram([4.0]).summary()
+        assert summary["min"] == summary["p50"] == summary["max"] == 4.0
+
+    def test_summary_is_order_independent(self):
+        a = Histogram([3.0, 1.0, 2.0]).summary()
+        b = Histogram([1.0, 2.0, 3.0]).summary()
+        assert a == b

@@ -1,0 +1,116 @@
+"""Unit tests for the Chrome-trace / JSONL / summary exporters."""
+
+import json
+
+from repro.obs import Histogram, Observer
+from repro.obs.exporters import (
+    chrome_trace,
+    events_jsonl,
+    render_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.sim.tracing import TraceKind, Tracer
+
+
+def _sample_observer() -> Observer:
+    obs = Observer()
+    obs.span("exec", "cpu", "T0", 1_000, 2_000, {"job": "T0#0"})
+    obs.span("sched.decision", "sched", "kernel", 3_000, 500)
+    obs.instant("retry", "lockfree", "T1", 4_000, {"object": 2})
+    obs.tick_counter("retries.2", ts=4_000)
+    return obs
+
+
+class TestChromeTrace:
+    def test_thread_metadata_and_phases(self):
+        doc = chrome_trace(_sample_observer())
+        events = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ns"
+        by_ph = {}
+        for event in events:
+            by_ph.setdefault(event["ph"], []).append(event)
+        # One metadata record per distinct tid lane, first-seen order.
+        names = [m["args"]["name"] for m in by_ph["M"]]
+        assert names == ["T0", "kernel", "T1"]
+        tids = [m["tid"] for m in by_ph["M"]]
+        assert tids == [1, 2, 3]
+        assert len(by_ph["X"]) == 2
+        assert len(by_ph["i"]) == 1
+        assert len(by_ph["C"]) == 1
+
+    def test_timestamps_are_microseconds(self):
+        doc = chrome_trace(_sample_observer())
+        span = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert span["ts"] == 1.0      # 1000 ns -> 1 µs
+        assert span["dur"] == 2.0
+
+    def test_counter_track(self):
+        doc = chrome_trace(_sample_observer())
+        counter = next(e for e in doc["traceEvents"] if e["ph"] == "C")
+        assert counter["name"] == "retries.2"
+        assert counter["tid"] == 0
+        assert counter["args"] == {"value": 1}
+
+    def test_tracer_lane_appended(self):
+        tracer = Tracer()
+        tracer.emit(5_000, TraceKind.COMPLETE, "T0#0", detail="u=1.0")
+        doc = chrome_trace(_sample_observer(), tracer)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta[-1]["args"]["name"] == "trace"
+        lane = meta[-1]["tid"]
+        trace_events = [e for e in doc["traceEvents"]
+                        if e.get("cat") == "trace"]
+        assert len(trace_events) == 1
+        assert trace_events[0]["tid"] == lane
+
+    def test_empty_observer(self):
+        doc = chrome_trace(Observer())
+        assert doc["traceEvents"] == []
+
+    def test_write_is_parseable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, _sample_observer())
+        loaded = json.loads(path.read_text())
+        assert "traceEvents" in loaded
+        assert path.read_text().endswith("\n")
+
+
+class TestJsonl:
+    def test_one_json_object_per_line(self, tmp_path):
+        obs = _sample_observer()
+        text = events_jsonl(obs)
+        lines = text.strip().split("\n")
+        assert len(lines) == 4      # 2 spans + 1 instant + 1 sample
+        kinds = [json.loads(line)["type"] for line in lines]
+        assert kinds == ["span", "span", "instant", "counter"]
+        path = tmp_path / "events.jsonl"
+        write_jsonl(path, obs)
+        assert path.read_text() == text
+
+    def test_empty_is_empty_string(self):
+        assert events_jsonl(Observer()) == ""
+
+
+class TestRenderSummary:
+    def test_disabled(self):
+        text = render_summary({"enabled": False})
+        assert "observability disabled" in text
+
+    def test_sections_present(self):
+        obs = _sample_observer()
+        obs.histogram("job.retries", 2.0)
+        obs.decision(3, 100, 5_000)
+        text = render_summary(obs.summary(), title="profile: test")
+        assert text.startswith("profile: test")
+        assert "counters:" in text
+        assert "retries.2" in text
+        assert "histograms" in text
+        assert "scheduler decisions: 1" in text
+        assert "n=  3" in text
+
+    def test_empty_histogram_renders_n0(self):
+        obs = Observer()
+        obs.histograms["empty"] = Histogram()
+        text = render_summary(obs.summary())
+        assert "n=0" in text

@@ -1,0 +1,120 @@
+"""Property-based invariants over random workloads, via the obs layer.
+
+For any seeded random workload (``tests.helpers.random_workload``) under
+either RUA variant and either retry policy:
+
+1. **No CPU overlap** — the ``exec`` spans the kernel emits never
+   overlap (one CPU in the paper's model).
+2. **Segments stay in-window** — every executed segment of a job lies
+   within ``[release, completion-or-abort]``.
+3. **Theorem 2** — observed per-job retries never exceed
+   ``f_i <= 3 a_i + sum 2 a_j (ceil(C_i/W_j) + 1)``.
+4. **Utility accounting** — the accrued total equals the sum over
+   completed jobs of their TUF at the observed sojourn; aborted jobs
+   accrue zero.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.retry_bound import retry_bound_for_taskset
+from repro.api import build_policy_and_mode
+from repro.obs import Observer
+from repro.sim.kernel import Kernel, SimulationConfig
+from repro.sim.objects import RetryPolicy
+from tests.helpers import random_workload
+
+syncs = st.sampled_from(["lockfree", "lockbased"])
+retry_policies = st.sampled_from(
+    [RetryPolicy.ON_CONFLICT, RetryPolicy.ON_PREEMPTION])
+
+
+def _run(seed: int, sync: str, retry_policy: RetryPolicy):
+    rng = random.Random(seed)
+    tasks, traces, horizon = random_workload(rng)
+    policy, mode, costs = build_policy_and_mode(sync)
+    obs = Observer()
+    config = SimulationConfig(
+        tasks=tasks, arrival_traces=traces, policy=policy,
+        horizon=horizon, sync=mode, costs=costs,
+        retry_policy=retry_policy, observer=obs,
+    )
+    result = Kernel(config).run()
+    return tasks, result, obs
+
+
+def _job_windows(result, obs):
+    """Map job name -> (release, finish) using records plus the abort
+    instants (aborted records carry no completion time)."""
+    aborts = {dict(i.args)["job"]: i.ts for i in obs.instants
+              if i.name == "abort"}
+    windows = {}
+    for record in result.records:
+        name = f"{record.task_name}#{record.jid}"
+        finish = record.completion_time if record.completion_time \
+            is not None else aborts.get(name)
+        windows[name] = (record.release_time, finish)
+    return windows
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6), sync=syncs, retry=retry_policies)
+def test_exec_spans_never_overlap(seed, sync, retry):
+    _, _, obs = _run(seed, sync, retry)
+    execs = sorted((s for s in obs.spans if s.name == "exec"),
+                   key=lambda s: (s.start, s.end))
+    for prev, nxt in zip(execs, execs[1:]):
+        assert nxt.start >= prev.end, (
+            f"CPU overlap: {prev} and {nxt} (seed {seed})")
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6), sync=syncs, retry=retry_policies)
+def test_exec_spans_stay_in_job_window(seed, sync, retry):
+    _, result, obs = _run(seed, sync, retry)
+    windows = _job_windows(result, obs)
+    for span in obs.spans:
+        if span.name != "exec":
+            continue
+        job = dict(span.args)["job"]
+        if job not in windows:
+            # Still live at the horizon: bounded by the horizon itself.
+            assert span.end <= result.horizon
+            continue
+        release, finish = windows[job]
+        assert span.start >= release, f"{job} ran before release"
+        if finish is not None:
+            assert span.end <= finish, f"{job} ran after departure"
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6), retry=retry_policies)
+def test_retries_respect_theorem2_bound(seed, retry):
+    tasks, result, _ = _run(seed, "lockfree", retry)
+    index_of = {task.name: i for i, task in enumerate(tasks)}
+    for record in result.records:
+        try:
+            bound = retry_bound_for_taskset(
+                tasks, index_of[record.task_name])
+        except (ValueError, ZeroDivisionError):
+            continue
+        assert record.retries <= bound, (
+            f"{record.task_name}#{record.jid}: {record.retries} retries "
+            f"> Theorem 2 bound {bound} (seed {seed})")
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6), sync=syncs, retry=retry_policies)
+def test_accrued_utility_sums_over_completed_jobs(seed, sync, retry):
+    tasks, result, _ = _run(seed, sync, retry)
+    tuf_of = {task.name: task.tuf for task in tasks}
+    expected = 0.0
+    for record in result.records:
+        if record.aborted:
+            assert record.accrued_utility == 0.0
+        else:
+            assert record.accrued_utility == \
+                tuf_of[record.task_name].utility(record.sojourn)
+            expected += record.accrued_utility
+    assert result.accrued_utility == expected

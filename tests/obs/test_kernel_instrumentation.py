@@ -1,0 +1,139 @@
+"""Kernel/scheduler instrumentation: the obs events a simulation emits."""
+
+import random
+
+from repro.api import build_policy_and_mode
+from repro.obs import Observer
+from repro.sim.kernel import Kernel, SimulationConfig
+from repro.sim.objects import RetryPolicy
+from tests.helpers import simple_task
+
+
+def _run(sync: str, tasks, traces_us, observer=None,
+         retry_policy=RetryPolicy.ON_CONFLICT, horizon_us=100_000):
+    policy, mode, costs = build_policy_and_mode(sync)
+    config = SimulationConfig(
+        tasks=tasks,
+        arrival_traces=[[t * 1000 for t in tr] for tr in traces_us],
+        policy=policy,
+        horizon=horizon_us * 1000,
+        sync=mode,
+        costs=costs,
+        retry_policy=retry_policy,
+        observer=observer,
+    )
+    kernel = Kernel(config)
+    return kernel.run()
+
+
+def _contended_tasks():
+    # Two writers on the same object with overlapping arrivals.
+    return [
+        simple_task("A", critical_us=5_000, compute_us=100,
+                    accesses=[(0, 400)]),
+        simple_task("B", critical_us=1_000, compute_us=50,
+                    accesses=[(0, 30)]),
+    ]
+
+
+class TestKernelCounters:
+    def test_arrivals_and_completions(self):
+        obs = Observer()
+        tasks = [simple_task("A", critical_us=2_000, compute_us=100)]
+        result = _run("ideal", tasks, [[0, 3_000]], observer=obs)
+        assert obs.counters["kernel.arrivals"] == 2
+        assert obs.counters["kernel.completions"] == len(result.records)
+        assert obs.histograms["job.sojourn_ns"].count == 2
+        assert obs.histograms["job.utility"].count == 2
+
+    def test_scheduler_decision_spans_and_histogram(self):
+        obs = Observer()
+        tasks = [simple_task("A", critical_us=2_000, compute_us=100)]
+        result = _run("ideal", tasks, [[0]], observer=obs)
+        decisions = [s for s in obs.spans if s.name == "sched.decision"]
+        assert len(decisions) == result.scheduler_invocations
+        assert all(s.tid == "kernel" for s in decisions)
+        assert obs.histograms["sched.ready_queue"].count == \
+            result.scheduler_invocations
+        assert len(obs.decisions) == result.scheduler_invocations
+        # Decision spans carry the ready-queue size in their args.
+        assert all(dict(s.args)["n"] >= 0 for s in decisions)
+
+    def test_preemptions_counted(self):
+        obs = Observer()
+        # B (tight critical time) preempts A under any ECF dispatch.
+        result = _run("lockfree", _contended_tasks(), [[0], [200]],
+                      observer=obs)
+        preempted = sum(r.preemptions for r in result.records)
+        if preempted:
+            assert obs.counters["kernel.preemptions"] == preempted
+            assert any(i.name == "preempt" for i in obs.instants)
+
+    def test_result_carries_obs_summary(self):
+        obs = Observer()
+        tasks = [simple_task("A", critical_us=2_000, compute_us=100)]
+        result = _run("ideal", tasks, [[0]], observer=obs)
+        assert result.obs is not None
+        assert result.obs["enabled"] is True
+        assert result.obs == obs.summary()
+
+    def test_uninstrumented_run_has_no_obs_block(self):
+        tasks = [simple_task("A", critical_us=2_000, compute_us=100)]
+        result = _run("ideal", tasks, [[0]])
+        assert result.obs is None
+
+
+class TestRetryInstrumentation:
+    def test_retry_events_per_object(self):
+        obs = Observer()
+        result = _run("lockfree", _contended_tasks(), [[0], [200, 700]],
+                      observer=obs, retry_policy=RetryPolicy.ON_PREEMPTION)
+        assert result.total_retries > 0
+        assert obs.counters.get("retries.0", 0) == result.total_retries
+        assert obs.histograms["retry.wasted_ns"].count == \
+            result.total_retries
+        samples = [s for s in obs.counter_samples
+                   if s.name == "retries.0"]
+        assert [s.value for s in samples] == \
+            list(range(1, result.total_retries + 1))
+        assert any(i.name == "retry" for i in obs.instants)
+
+    def test_aborts_counted(self):
+        obs = Observer()
+        # A job that cannot finish by its critical time is aborted.
+        tasks = [simple_task("A", critical_us=100, compute_us=5_000)]
+        result = _run("ideal", tasks, [[0]], observer=obs,
+                      horizon_us=50_000)
+        assert result.abort_count > 0
+        assert obs.counters["kernel.aborts"] == result.abort_count
+        assert any(i.name == "abort" for i in obs.instants)
+
+
+class TestBlockingInstrumentation:
+    def test_blocking_interval_spans(self):
+        obs = Observer()
+        result = _run("lockbased", _contended_tasks(), [[0], [200]],
+                      observer=obs)
+        if result.total_blockings:
+            assert obs.counters["kernel.blockings"] == \
+                result.total_blockings
+            blocked = [s for s in obs.spans
+                       if s.name.startswith("blocked:")]
+            assert len(blocked) == result.total_blockings
+            assert all(s.duration >= 0 for s in blocked)
+
+
+class TestSchedulerPolicyCounters:
+    def test_lockfree_policy_passes(self):
+        obs = Observer()
+        result = _run("lockfree", _contended_tasks(), [[0], [200]],
+                      observer=obs)
+        assert obs.counters["sched.passes"] == \
+            result.scheduler_invocations
+
+    def test_lockbased_policy_passes(self):
+        obs = Observer()
+        result = _run("lockbased", _contended_tasks(), [[0], [200]],
+                      observer=obs)
+        assert obs.counters["sched.passes"] == \
+            result.scheduler_invocations

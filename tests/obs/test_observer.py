@@ -1,0 +1,111 @@
+"""Unit tests for NullObserver / Observer."""
+
+from repro.obs import NULL_OBSERVER, NullObserver, Observer
+
+
+class TestNullObserver:
+    def test_singleton_is_disabled(self):
+        assert NULL_OBSERVER.enabled is False
+        assert isinstance(NULL_OBSERVER, NullObserver)
+
+    def test_every_method_is_a_noop(self):
+        obs = NULL_OBSERVER
+        obs.counter("c")
+        obs.counter("c", 5)
+        obs.histogram("h", 1.0)
+        obs.span("s", "cat", "t", 0, 1, {"a": 1})
+        obs.instant("i", "cat", "t", 0)
+        obs.tick_counter("t", 0)
+        obs.open_span("k", "s", "cat", "t", 0)
+        obs.close_span("k", 1)
+        obs.close_open_spans(2)
+        obs.decision(3, 100, 200)
+        assert obs.summary() == {"enabled": False}
+
+    def test_allocates_no_instance_state(self):
+        assert NullObserver.__slots__ == ()
+
+
+class TestObserver:
+    def test_counters_accumulate(self):
+        obs = Observer()
+        obs.counter("kernel.arrivals")
+        obs.counter("kernel.arrivals", 2)
+        assert obs.counters == {"kernel.arrivals": 3}
+
+    def test_histograms_record(self):
+        obs = Observer()
+        obs.histogram("job.retries", 1.0)
+        obs.histogram("job.retries", 3.0)
+        assert obs.histograms["job.retries"].count == 2
+
+    def test_tick_counter_samples_running_total(self):
+        obs = Observer()
+        obs.tick_counter("retries.0", ts=10)
+        obs.tick_counter("retries.0", ts=20, value=2)
+        assert obs.counters["retries.0"] == 3
+        assert [(s.ts, s.value) for s in obs.counter_samples] == \
+            [(10, 1), (20, 3)]
+
+    def test_open_close_span(self):
+        obs = Observer()
+        obs.open_span(("block", "T0#0"), "blocked:2", "lock", "T0", 100)
+        obs.close_span(("block", "T0#0"), 180)
+        (span,) = obs.spans
+        assert (span.name, span.start, span.duration) == \
+            ("blocked:2", 100, 80)
+
+    def test_close_unknown_key_is_ignored(self):
+        obs = Observer()
+        obs.close_span("nope", 5)
+        assert obs.spans == []
+
+    def test_reopen_closes_previous(self):
+        obs = Observer()
+        obs.open_span("k", "a", "c", "t", 0)
+        obs.open_span("k", "b", "c", "t", 10)
+        obs.close_span("k", 15)
+        assert [(s.name, s.start, s.duration) for s in obs.spans] == \
+            [("a", 0, 10), ("b", 10, 5)]
+
+    def test_close_open_spans_flushes_everything(self):
+        obs = Observer()
+        obs.open_span("a", "a", "c", "t", 0)
+        obs.open_span("b", "b", "c", "t", 5)
+        obs.close_open_spans(20)
+        assert [s.name for s in obs.spans] == ["a", "b"]
+        assert obs._open == {}
+
+    def test_injected_clock(self):
+        ticks = iter(range(0, 1000, 10))
+        obs = Observer(clock=lambda: next(ticks))
+        assert obs.clock() == 0
+        assert obs.clock() == 10
+
+    def test_decision_stats_by_n(self):
+        obs = Observer()
+        obs.decision(2, 100, 1000)
+        obs.decision(2, 200, 3000)
+        obs.decision(5, 500, 9000)
+        stats = obs.decision_stats_by_n()
+        assert stats[2] == {"count": 2, "sim_cost_mean": 150.0,
+                            "wall_ns_mean": 2000.0}
+        assert stats[5]["count"] == 1
+        assert list(stats) == [2, 5]
+
+    def test_summary_shape(self):
+        obs = Observer()
+        obs.counter("b")
+        obs.counter("a")
+        obs.histogram("h", 2.0)
+        obs.span("s", "c", "t", 0, 1)
+        obs.instant("i", "c", "t", 0)
+        obs.decision(3, 10, 100)
+        summary = obs.summary()
+        assert summary["enabled"] is True
+        assert list(summary["counters"]) == ["a", "b"]
+        assert summary["histograms"]["h"]["count"] == 1
+        assert summary["spans"] == 1
+        assert summary["instants"] == 1
+        assert summary["scheduler"]["decisions"] == 1
+        assert summary["scheduler"]["by_n"]["3"]["count"] == 1
