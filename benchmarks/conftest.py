@@ -60,12 +60,26 @@ def run_once_benchmark(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
+#: The committed perf-trajectory summary store (repro.obs.regress);
+#: raw BENCH_*.json runs stay machine-local under benchmarks/out/.
+TRAJECTORY_DIR = pathlib.Path(__file__).parent / "trajectories"
+
+
 def record_bench(benchmark, name: str, metrics: dict) -> None:
-    """Append this run to the ``BENCH_<name>.json`` perf trajectory
-    (under ``benchmarks/out/``; override with
-    ``REPRO_BENCH_BASELINE_DIR``).  Call after ``run_once_benchmark`` so
-    the benchmark's measured wall time is available."""
+    """Record this run's perf trajectory.  Two stores, both atomic:
+
+    * the raw machine-local ``BENCH_<name>.json`` baseline (under
+      ``benchmarks/out/``; override with ``REPRO_BENCH_BASELINE_DIR``),
+      never committed;
+    * the committed summary trajectory under
+      ``benchmarks/trajectories/`` (override with
+      ``REPRO_TRAJECTORY_DIR``), which `repro bench check` gates.
+
+    Call after ``run_once_benchmark`` so the benchmark's measured wall
+    time is available.
+    """
     from repro.obs.bench import record_bench_baseline
+    from repro.obs.regress import append_trajectory
 
     wall = None
     stats = getattr(benchmark, "stats", None)
@@ -78,3 +92,9 @@ def record_bench(benchmark, name: str, metrics: dict) -> None:
     path = record_bench_baseline(name, metrics, wall_s=wall,
                                  directory=directory)
     print(f"bench baseline appended to {path}")
+    trajectory_dir = pathlib.Path(
+        os.environ.get("REPRO_TRAJECTORY_DIR") or TRAJECTORY_DIR)
+    trajectory_dir.mkdir(parents=True, exist_ok=True)
+    trajectory = append_trajectory(name, metrics, wall_s=wall,
+                                   directory=trajectory_dir)
+    print(f"trajectory entry appended to {trajectory}")

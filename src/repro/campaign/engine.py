@@ -94,6 +94,16 @@ class CampaignEngine:
         self._journal: CampaignJournal | None = None
         if self.config.journal:
             self._journal = CampaignJournal.open(self.config.journal, tag)
+        # Live OpenMetrics endpoint: scrapes snapshot the observer on
+        # demand, so the campaign stays scrapeable for its whole run.
+        self._metrics_server = None
+        if self.config.metrics_port is not None:
+            from repro.obs.metrics import MetricsServer, snapshot_openmetrics
+
+            self._metrics_server = MetricsServer(
+                lambda: snapshot_openmetrics(observer=self.obs),
+                host=self.config.metrics_host,
+                port=self.config.metrics_port).start()
 
     # ------------------------------------------------------------------
     # Public API
@@ -134,10 +144,20 @@ class CampaignEngine:
             workers=self.config.workers,
         )
 
+    @property
+    def metrics_url(self) -> str | None:
+        """The live ``/metrics`` URL, when the campaign serves one."""
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.url
+
     def close(self) -> None:
         if self._journal is not None:
             self._journal.close()
             self._journal = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            self._metrics_server = None
 
     def __enter__(self) -> "CampaignEngine":
         return self

@@ -115,7 +115,9 @@ class CampaignConfig:
     serially).  ``max_attempts`` counts total tries per trial, so ``1``
     disables retry.  ``journal`` appends a write-ahead record per
     completed trial; ``resume`` preloads completed trials from a journal
-    and skips re-running them.
+    and skips re-running them.  ``metrics_port`` (when not None) makes
+    the engine serve a live OpenMetrics ``/metrics`` endpoint for the
+    duration of the campaign (0 = ephemeral port).
     """
 
     workers: int = 1
@@ -130,6 +132,8 @@ class CampaignConfig:
     resume: str | None = None
     max_failures: int | None = None   # enforced by the CLI, recorded here
     chaos: "ChaosPlan | None" = None
+    metrics_port: int | None = None   # live /metrics endpoint (0 = any)
+    metrics_host: str = "127.0.0.1"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -138,6 +142,8 @@ class CampaignConfig:
             raise ValueError("max_attempts must be at least 1")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive when set")
+        if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
+            raise ValueError("metrics_port must be in [0, 65535] when set")
 
 
 @dataclass(frozen=True)

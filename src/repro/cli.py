@@ -12,11 +12,19 @@ Commands:
   degradation report;
 * ``profile`` — one fully instrumented run (``repro.obs``): Chrome
   trace-event JSON for ``chrome://tracing``/Perfetto, JSONL event
-  streams, a perf-summary table, and ``BENCH_*.json`` baselines.
+  streams, a perf-summary table, and ``BENCH_*.json`` baselines;
+* ``bench`` — the perf-regression loop over the committed
+  ``benchmarks/trajectories/`` store: ``record`` appends an
+  instrumented run's summary, ``check`` gates (exit 1 on a detected
+  regression), ``report`` prints the trajectories;
+* ``diff`` — trace-diff diagnosis: align two exported traces (JSONL or
+  Chrome JSON), report the first divergent scheduling decision and the
+  per-task deltas in retries, aborts, blocking time and utility.
 
 Every command's ``--json`` payload carries an ``obs`` block: the
 observability summary of the run (``{"enabled": false}`` when nothing
-was instrumented).
+was instrumented).  Campaign commands accept ``--metrics-port`` to
+serve a live OpenMetrics ``/metrics`` endpoint while they run.
 
 Campaign resilience (``figure``/``retrybound``/``faults``): ``--workers N``
 fans trials out to crash-isolated worker processes, ``--trial-timeout``
@@ -90,6 +98,11 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--max-failures", type=int, default=0,
                        help="tolerated terminally-failed trials before "
                             "the process exits nonzero (default 0)")
+    group.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve a live OpenMetrics /metrics endpoint "
+                            "on 127.0.0.1:PORT for the campaign's "
+                            "duration (0 = ephemeral port)")
     # Deterministic campaign-layer fault injection, used by the CI
     # acceptance check and the integration tests (hidden from --help).
     group.add_argument("--chaos-crash", type=int, action="append",
@@ -116,6 +129,11 @@ def _campaign_from_args(args) -> CampaignConfig | None:
         raise UsageError(
             f"invalid --trial-timeout {args.trial_timeout}: "
             f"must be positive")
+    if args.metrics_port is not None and \
+            not 0 <= args.metrics_port <= 65535:
+        raise UsageError(
+            f"invalid --metrics-port {args.metrics_port}: "
+            f"must be in [0, 65535]")
     chaos = None
     if args.chaos_crash or args.chaos_hang or args.chaos_transient:
         chaos = ChaosPlan(crash=tuple(args.chaos_crash),
@@ -125,7 +143,8 @@ def _campaign_from_args(args) -> CampaignConfig | None:
     journal = args.journal or args.resume
     needs_engine = (args.workers > 1 or journal is not None
                     or args.trial_timeout is not None
-                    or chaos is not None)
+                    or chaos is not None
+                    or args.metrics_port is not None)
     if not needs_engine:
         return None
     return CampaignConfig(
@@ -136,6 +155,7 @@ def _campaign_from_args(args) -> CampaignConfig | None:
         resume=args.resume,
         max_failures=args.max_failures,
         chaos=chaos,
+        metrics_port=args.metrics_port,
     )
 
 
@@ -148,6 +168,12 @@ def _campaign_exit(stats: CampaignStats | None, args) -> int:
               file=sys.stderr)
         return EXIT_CAMPAIGN_FAILED
     return 0
+
+
+def _announce_metrics(engine: "CampaignEngine | None") -> None:
+    if engine is not None and engine.metrics_url:
+        print(f"serving live metrics at {engine.metrics_url}",
+              file=sys.stderr)
 
 
 def _write_json(args, payload: dict, obs: dict | None = None) -> None:
@@ -251,6 +277,54 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", default=None, metavar="PATH",
                          help="write a machine-readable summary")
 
+    bench = sub.add_parser(
+        "bench",
+        help="perf-regression loop over the committed "
+             "benchmarks/trajectories/ store (record / check / report)")
+    bench.add_argument("action", choices=["record", "check", "report"])
+    bench.add_argument("--dir", default=None, metavar="DIR",
+                       help="trajectory store (default "
+                            "benchmarks/trajectories, or "
+                            "$REPRO_TRAJECTORY_DIR)")
+    bench.add_argument("--bench", default="kernel", metavar="NAME",
+                       help="trajectory name for 'record' "
+                            "(default: kernel)")
+    bench.add_argument("--z-threshold", type=float, default=None,
+                       help="robust z-score gate threshold "
+                            "(default 4.0)")
+    bench.add_argument("--rel-threshold", type=float, default=None,
+                       help="relative-change gate threshold "
+                            "(default 0.25)")
+    bench.add_argument("--report", default=None, metavar="PATH",
+                       help="also write the ASCII gate report to a file")
+    # 'record' runs one instrumented profile; these mirror `profile`.
+    bench.add_argument("--workload",
+                       choices=["step", "hetero", "interference"],
+                       default="step")
+    bench.add_argument("--sync",
+                       choices=["lockfree", "lockbased", "ideal", "edf"],
+                       default="lockfree")
+    bench.add_argument("--tasks", type=int, default=10)
+    bench.add_argument("--objects", type=int, default=10)
+    bench.add_argument("--load", type=float, default=0.6)
+    bench.add_argument("--horizon-ms", type=int, default=100)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--json", default=None, metavar="PATH",
+                       help="write a machine-readable summary")
+
+    diff = sub.add_parser(
+        "diff",
+        help="trace-diff diagnosis: first divergent scheduling decision "
+             "and per-task deltas between two exported traces")
+    diff.add_argument("trace_a", metavar="A",
+                      help="first trace (JSONL event stream or Chrome "
+                           "trace JSON, as written by `repro profile`)")
+    diff.add_argument("trace_b", metavar="B", help="second trace")
+    diff.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the diagnosis to a file")
+    diff.add_argument("--json", default=None, metavar="PATH",
+                      help="write a machine-readable summary")
+
     sojourn = sub.add_parser("sojourn",
                              help="Theorem 3 sojourn comparison")
     sojourn.add_argument("--r", type=float, required=True,
@@ -310,6 +384,7 @@ def _cmd_figure(args) -> int:
     engine = (CampaignEngine(campaign, tag=f"figure:{args.name}",
                              observer=observer)
               if campaign is not None else None)
+    _announce_metrics(engine)
     try:
         if args.name == "fig9":
             result = fn(repeats=max(1, args.repeats // 3), campaign=engine)
@@ -337,6 +412,7 @@ def _cmd_retrybound(args) -> int:
     engine = (CampaignEngine(campaign, tag="figure:thm2",
                              observer=observer)
               if campaign is not None else None)
+    _announce_metrics(engine)
     try:
         result = figures.thm2_validation(repeats=args.repeats,
                                          horizon=args.horizon_ms * MS,
@@ -377,6 +453,7 @@ def _cmd_faults(args) -> int:
     engine = (CampaignEngine(campaign_cfg, tag="faults",
                              observer=observer)
               if campaign_cfg is not None else None)
+    _announce_metrics(engine)
     try:
         campaign = cml_under_faults(
             burst_levels=levels,
@@ -443,6 +520,80 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.obs.regress import (
+        REL_THRESHOLD,
+        Z_THRESHOLD,
+        append_trajectory,
+        check_trajectories,
+        list_trajectories,
+        load_trajectory,
+        trajectory_dir,
+    )
+
+    directory = trajectory_dir(args.dir)
+    if args.action == "record":
+        from repro.obs.profile import run_profile
+
+        prof = run_profile(
+            workload=args.workload, sync=args.sync, n_tasks=args.tasks,
+            n_objects=args.objects, load=args.load,
+            horizon_us=args.horizon_ms * 1000, seed=args.seed,
+        )
+        directory.mkdir(parents=True, exist_ok=True)
+        path = append_trajectory(args.bench, prof.bench_metrics(),
+                                 wall_s=prof.wall_s, directory=directory)
+        entries = len(load_trajectory(args.bench, directory)["entries"])
+        print(f"trajectory entry appended to {path} "
+              f"({entries} entries)")
+        _write_json(args, {"command": "bench", "action": "record",
+                           "bench": args.bench, "path": str(path),
+                           "entries": entries,
+                           "wall_s": round(prof.wall_s, 6)},
+                    obs=prof.observer.summary())
+        return 0
+
+    z_threshold = args.z_threshold if args.z_threshold is not None \
+        else Z_THRESHOLD
+    rel_threshold = args.rel_threshold if args.rel_threshold is not None \
+        else REL_THRESHOLD
+    report = check_trajectories(directory, z_threshold=z_threshold,
+                                rel_threshold=rel_threshold)
+    text = report.render()
+    print(text)
+    if args.report:
+        atomic_write(args.report, text + "\n")
+        print(f"gate report written to {args.report}")
+    gating = args.action == "check"
+    rc = 1 if (gating and report.regressed) else 0
+    if gating and not list_trajectories(directory):
+        print(f"no trajectories under {directory}; record some with "
+              f"`repro bench record`", file=sys.stderr)
+    _write_json(args, {"command": "bench", "action": args.action,
+                       "exit_code": rc, **report.to_dict()})
+    return rc
+
+
+def _cmd_diff(args) -> int:
+    from repro.obs.diff import TraceFormatError, diff_trace_files
+
+    try:
+        diff = diff_trace_files(args.trace_a, args.trace_b)
+    except FileNotFoundError as exc:
+        print(f"trace not found: {exc.filename}", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(f"unreadable trace: {exc}", file=sys.stderr)
+        return 2
+    text = diff.render()
+    print(text)
+    if args.out:
+        atomic_write(args.out, text + "\n")
+        print(f"diagnosis written to {args.out}")
+    _write_json(args, {"command": "diff", **diff.to_dict()})
+    return 0
+
+
 def _cmd_sojourn(args) -> int:
     n = 2 * args.a + args.x   # worst-case n_i
     comparison = compare_sojourn(
@@ -481,6 +632,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_faults(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
         if args.command == "sojourn":
             return _cmd_sojourn(args)
     except UsageError as exc:

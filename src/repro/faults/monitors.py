@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.analysis.retry_bound import retry_bound_for_taskset
 from repro.faults.report import DegradationReport, InvariantViolation
+from repro.obs.observer import NULL_OBSERVER, NullObserver
 from repro.tasks.job import Job, JobState
 from repro.tasks.task import TaskSpec
 
@@ -34,11 +35,19 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class MonitorSuite:
-    """All runtime invariant monitors for one kernel run."""
+    """All runtime invariant monitors for one kernel run.
+
+    ``observer`` (optional) receives every recorded violation as an
+    ``invariant.violations.<monitor>`` counter plus an instant event, so
+    the metrics registry (``repro.obs.metrics``) can expose a live
+    per-monitor violation series during instrumented runs.
+    """
 
     def __init__(self, tasks: Sequence[TaskSpec],
-                 report: DegradationReport) -> None:
+                 report: DegradationReport,
+                 observer: NullObserver | None = None) -> None:
         self.report = report
+        self.obs = observer if observer is not None else NULL_OBSERVER
         self._tasks = list(tasks)
         self._last_clock: int | None = None
         # Theorem 2 bounds are computed lazily (only lock-free runs that
@@ -59,6 +68,11 @@ class MonitorSuite:
         self._flagged.add((monitor, job))
         self.report.record(InvariantViolation(
             time=time, monitor=monitor, job=job, detail=detail))
+        if self.obs.enabled:
+            self.obs.counter(f"invariant.violations.{monitor}")
+            self.obs.instant("invariant_violation", "invariant",
+                             job or "kernel", time,
+                             {"monitor": monitor, "detail": detail})
 
     # ------------------------------------------------------------------
     # Clock monotonicity

@@ -42,6 +42,23 @@ _LAZY = {
     "ProfileResult": "repro.obs.profile",
     "PROFILE_WORKLOADS": "repro.obs.profile",
     "PROFILE_SYNCS": "repro.obs.profile",
+    # metrics registry & live /metrics endpoint
+    "MetricsRegistry": "repro.obs.metrics",
+    "MetricsServer": "repro.obs.metrics",
+    "snapshot_openmetrics": "repro.obs.metrics",
+    "fill_from_observer": "repro.obs.metrics",
+    "fill_from_degradation": "repro.obs.metrics",
+    # perf-regression gate over committed trajectories
+    "append_trajectory": "repro.obs.regress",
+    "load_trajectory": "repro.obs.regress",
+    "check_trajectories": "repro.obs.regress",
+    "judge_series": "repro.obs.regress",
+    "RegressionReport": "repro.obs.regress",
+    # trace-diff diagnosis
+    "diff_trace_files": "repro.obs.diff",
+    "diff_traces": "repro.obs.diff",
+    "load_trace": "repro.obs.diff",
+    "TraceDiff": "repro.obs.diff",
 }
 
 __all__ = [

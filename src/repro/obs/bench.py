@@ -58,6 +58,16 @@ def load_baseline(name: str, directory: str | os.PathLike | None = None
     return {"bench": name, "runs": []}
 
 
+def _evict_oldest(runs: list[dict[str, Any]],
+                  cap: int = MAX_RUNS) -> list[dict[str, Any]]:
+    """Deterministic oldest-first eviction at the cap: runs are
+    stable-sorted by ``seq`` first, so a hand-merged or out-of-order
+    file still evicts its genuinely oldest records rather than whatever
+    happened to sit at the front of the list."""
+    ordered = sorted(runs, key=lambda run: run.get("seq", 0))
+    return ordered[-cap:]
+
+
 def record_bench_baseline(name: str, metrics: dict[str, Any],
                           wall_s: float | None = None,
                           directory: str | os.PathLike | None = None,
@@ -65,14 +75,15 @@ def record_bench_baseline(name: str, metrics: dict[str, Any],
     """Append one run record to ``BENCH_<name>.json`` and return its
     path.  ``metrics`` must be JSON-serializable scalars/containers."""
     document = load_baseline(name, directory)
-    runs = document["runs"]
+    runs = [run for run in document["runs"] if isinstance(run, dict)]
+    next_seq = 1 + max((run.get("seq", 0) for run in runs), default=0)
     runs.append({
-        "seq": (runs[-1]["seq"] + 1) if runs else 1,
+        "seq": next_seq,
         "unix_time": round(now if now is not None else time.time(), 3),
         "wall_s": None if wall_s is None else round(wall_s, 6),
         "metrics": metrics,
     })
-    document["runs"] = runs[-MAX_RUNS:]
+    document["runs"] = _evict_oldest(runs)
     path = baseline_path(name, directory)
     atomic_write(path, json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path

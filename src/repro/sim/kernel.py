@@ -187,7 +187,7 @@ class Kernel:
             if config.admission is not None else None
         )
         self._monitors = (
-            MonitorSuite(config.tasks, self._report)
+            MonitorSuite(config.tasks, self._report, observer=self.obs)
             if config.monitors else None
         )
         # jid counters continue past each declared trace so injected

@@ -59,6 +59,48 @@ class TestRecordBenchBaseline:
         # seq keeps counting even after the cap trims old entries.
         assert runs[-1]["seq"] == MAX_RUNS + 5
 
+    def test_cap_boundary_is_exact(self, tmp_path):
+        """At exactly MAX_RUNS nothing is evicted; one more run evicts
+        exactly the oldest record (seq 1), deterministically."""
+        for i in range(MAX_RUNS):
+            record_bench_baseline("edge", {"i": i}, directory=tmp_path,
+                                  now=float(i))
+        runs = load_baseline("edge", tmp_path)["runs"]
+        assert [run["seq"] for run in runs] == \
+            list(range(1, MAX_RUNS + 1))
+        record_bench_baseline("edge", {"i": MAX_RUNS},
+                              directory=tmp_path, now=float(MAX_RUNS))
+        runs = load_baseline("edge", tmp_path)["runs"]
+        assert len(runs) == MAX_RUNS
+        assert runs[0]["seq"] == 2          # seq 1 evicted, nothing else
+        assert runs[-1]["seq"] == MAX_RUNS + 1
+
+    def test_eviction_is_oldest_first_even_when_file_unordered(
+            self, tmp_path):
+        """A hand-merged file with out-of-order seq still evicts its
+        genuinely oldest records, not whatever sat at the front."""
+        runs = [{"seq": seq, "unix_time": float(seq), "wall_s": None,
+                 "metrics": {"seq": seq}}
+                for seq in range(MAX_RUNS, 0, -1)]   # newest first
+        (tmp_path / "BENCH_shuffled.json").write_text(
+            json.dumps({"bench": "shuffled", "runs": runs}))
+        record_bench_baseline("shuffled", {"seq": MAX_RUNS + 1},
+                              directory=tmp_path, now=0.0)
+        kept = load_baseline("shuffled", tmp_path)["runs"]
+        assert len(kept) == MAX_RUNS
+        assert [run["seq"] for run in kept] == \
+            list(range(2, MAX_RUNS + 2))
+
+    def test_malformed_entries_are_dropped_on_append(self, tmp_path):
+        (tmp_path / "BENCH_mixed.json").write_text(json.dumps({
+            "bench": "mixed",
+            "runs": [{"seq": 3, "metrics": {}}, "not-a-run", 42],
+        }))
+        record_bench_baseline("mixed", {"x": 1}, directory=tmp_path,
+                              now=0.0)
+        kept = load_baseline("mixed", tmp_path)["runs"]
+        assert [run["seq"] for run in kept] == [3, 4]
+
     def test_survives_corrupt_previous_file(self, tmp_path):
         (tmp_path / "BENCH_kernel.json").write_text("garbage")
         path = record_bench_baseline("kernel", {"x": 1},

@@ -64,6 +64,21 @@ def _run_cli(argv_tail, tmp_path) -> dict:
     return json.loads(out.read_text())
 
 
+def _diff_argv(tmp):
+    """Generate two small traces, then diff them."""
+    from repro.obs.exporters import write_jsonl
+    from repro.obs.profile import run_profile
+
+    paths = []
+    for sync in ("lockfree", "lockbased"):
+        prof = run_profile(workload="step", sync=sync,
+                           horizon_us=10_000, seed=5)
+        path = tmp / f"{sync}.jsonl"
+        write_jsonl(path, prof.observer)
+        paths.append(str(path))
+    return ["diff", *paths]
+
+
 # Fast deterministic invocations, one per CLI command.  The campaign
 # commands get a --journal so the engine (and its obs block) engages.
 COMMANDS = {
@@ -81,6 +96,11 @@ COMMANDS = {
     "profile": lambda tmp: ["profile", "--tasks", "5", "--objects", "4",
                             "--horizon-ms", "10", "--seed", "0"],
     "sojourn": lambda tmp: ["sojourn", "--r", "10", "--s", "5"],
+    # The gate runs against the committed clean fixture (rc 0).
+    "bench": lambda tmp: ["bench", "check", "--dir",
+                          str(pathlib.Path(__file__).parent.parent
+                              / "fixtures" / "trajectories" / "clean")],
+    "diff": _diff_argv,
 }
 
 

@@ -92,6 +92,55 @@ class TestJsonl:
         assert events_jsonl(Observer()) == ""
 
 
+class TestExporterEdgeCases:
+    """Degenerate observers must still export valid artifacts."""
+
+    def test_empty_observer_writes_valid_chrome_json(self, tmp_path):
+        path = tmp_path / "empty.json"
+        write_chrome_trace(path, Observer())
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"] == []
+        assert loaded["displayTimeUnit"] == "ns"
+
+    def test_counter_only_run(self, tmp_path):
+        obs = Observer()
+        obs.tick_counter("retries.0", ts=100)
+        obs.tick_counter("retries.0", ts=200)
+        obs.counter("kernel.arrivals", 3)      # scalar only, no samples
+        doc = chrome_trace(obs)
+        phases = sorted({e["ph"] for e in doc["traceEvents"]})
+        assert phases == ["C"]                 # no spans/instants/meta
+        values = [e["args"]["value"] for e in doc["traceEvents"]]
+        assert values == [1, 2]
+        path = tmp_path / "counters.json"
+        write_chrome_trace(path, obs)
+        assert json.loads(path.read_text())["traceEvents"] == \
+            doc["traceEvents"]
+        # JSONL mirrors the same two samples.
+        lines = events_jsonl(obs).strip().split("\n")
+        assert [json.loads(line)["type"] for line in lines] == \
+            ["counter", "counter"]
+
+    def test_zero_completed_jobs_still_valid(self, tmp_path):
+        from repro.obs.profile import run_profile
+
+        # 50 µs horizon: jobs arrive and the scheduler runs, but no job
+        # can finish — the trace must still be a valid Chrome document.
+        prof = run_profile(workload="step", horizon_us=50, seed=0)
+        assert prof.observer.counters.get("kernel.completions", 0) == 0
+        assert not any(i.name == "complete"
+                       for i in prof.observer.instants)
+        path = tmp_path / "nocomplete.json"
+        write_chrome_trace(path, prof.observer, prof.tracer)
+        loaded = json.loads(path.read_text())
+        assert isinstance(loaded["traceEvents"], list)
+        meta = [e for e in loaded["traceEvents"] if e["ph"] == "M"]
+        assert meta, "thread metadata must still label the lanes"
+        # And the summary table renders without a completions section.
+        text = render_summary(prof.observer.summary())
+        assert "counters:" in text
+
+
 class TestRenderSummary:
     def test_disabled(self):
         text = render_summary({"enabled": False})

@@ -1,0 +1,223 @@
+"""Unit + acceptance tests for the perf-regression gate
+(repro.obs.regress and ``repro bench check``)."""
+
+import json
+import pathlib
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.obs.regress import (
+    MAX_ENTRIES,
+    MIN_HISTORY,
+    append_trajectory,
+    changepoint_scan,
+    check_trajectories,
+    ewma,
+    judge_series,
+    list_trajectories,
+    load_trajectory,
+    metric_direction,
+    trajectory_path,
+)
+
+CLEAN_FIXTURE = (pathlib.Path(__file__).parent.parent / "fixtures"
+                 / "trajectories" / "clean")
+
+
+class TestMetricDirection:
+    def test_exact_and_suffix_matches(self):
+        assert metric_direction("wall_s") == "up"
+        assert metric_direction("scheduler_overhead_time") == "up"
+        assert metric_direction("aur") == "down"
+        assert metric_direction("accrued_utility") == "down"
+
+    def test_unknown_is_informational(self):
+        assert metric_direction("jobs") == "none"
+        assert metric_direction("seed") == "none"
+
+
+class TestTrajectoryStore:
+    def test_append_keeps_scalars_only(self, tmp_path):
+        append_trajectory("k", {"aur": 0.9, "sync": "lockfree",
+                                "raw": [1, 2], "nested": {"a": 1}},
+                          wall_s=1.5, directory=tmp_path, now=10.0)
+        document = load_trajectory("k", tmp_path)
+        entry = document["entries"][0]
+        assert entry["metrics"] == {"aur": 0.9, "sync": "lockfree"}
+        assert entry["wall_s"] == 1.5
+        assert entry["seq"] == 1
+
+    def test_seq_monotonic_and_survives_corruption(self, tmp_path):
+        append_trajectory("k", {"x": 1}, directory=tmp_path, now=1.0)
+        append_trajectory("k", {"x": 2}, directory=tmp_path, now=2.0)
+        assert [e["seq"] for e in
+                load_trajectory("k", tmp_path)["entries"]] == [1, 2]
+        trajectory_path("bad", tmp_path).write_text("{not json")
+        assert load_trajectory("bad", tmp_path)["entries"] == []
+
+    def test_eviction_is_oldest_first(self, tmp_path):
+        document = {"bench": "k", "schema": 1, "entries": [
+            {"seq": seq, "unix_time": 0.0, "wall_s": None, "metrics": {}}
+            for seq in range(MAX_ENTRIES, 0, -1)   # stored newest-first
+        ]}
+        trajectory_path("k", tmp_path).write_text(json.dumps(document))
+        append_trajectory("k", {"x": 1}, directory=tmp_path, now=0.0)
+        kept = load_trajectory("k", tmp_path)["entries"]
+        assert len(kept) == MAX_ENTRIES
+        assert [e["seq"] for e in kept] == \
+            list(range(2, MAX_ENTRIES + 2))
+
+    def test_list_trajectories(self, tmp_path):
+        assert list_trajectories(tmp_path / "absent") == []
+        append_trajectory("b", {}, directory=tmp_path, now=0.0)
+        append_trajectory("a", {}, directory=tmp_path, now=0.0)
+        assert list_trajectories(tmp_path) == ["a", "b"]
+
+
+class TestStats:
+    def test_ewma_weights_recent_points(self):
+        assert ewma([1.0]) == 1.0
+        assert ewma([0.0, 10.0], alpha=0.5) == 5.0
+        with pytest.raises(ValueError):
+            ewma([])
+
+    def test_changepoint_finds_level_shift(self):
+        values = [1.0, 1.1, 0.9, 1.0, 3.0, 3.1, 2.9, 3.0]
+        index, score = changepoint_scan(values)
+        assert index == 4
+        assert score > 3.0
+
+    def test_changepoint_too_short(self):
+        assert changepoint_scan([1.0, 2.0]) is None
+
+
+class TestJudgeSeries:
+    def test_insufficient_history(self):
+        verdict = judge_series("wall_s", [1.0] * MIN_HISTORY)
+        assert verdict.status == "insufficient-history"
+        assert not verdict.gated
+
+    def test_stable_series_ok(self):
+        verdict = judge_series("wall_s",
+                               [1.0, 1.01, 0.99, 1.02, 0.98, 1.0])
+        assert verdict.status == "ok"
+
+    def test_three_x_slowdown_gates(self):
+        verdict = judge_series("wall_s",
+                               [1.0, 1.01, 0.99, 1.02, 0.98, 3.0])
+        assert verdict.status == "regression"
+        assert verdict.gated
+        assert verdict.z > 4.0
+        assert verdict.rel_change > 1.5
+        assert verdict.changepoint == 5 or verdict.changepoint is None
+
+    def test_speedup_never_gates(self):
+        verdict = judge_series("wall_s",
+                               [1.0, 1.01, 0.99, 1.02, 0.98, 0.3])
+        assert verdict.status == "drift"     # large but better direction
+
+    def test_lower_is_worse_direction(self):
+        verdict = judge_series("aur", [0.9, 0.91, 0.89, 0.9, 0.9, 0.3])
+        assert verdict.status == "regression"
+
+    def test_sparse_count_series_does_not_gate(self):
+        # MAD degenerates to 0 on majority-identical histories; the
+        # stdev fallback keeps a 0->1 count wobble below the gate.
+        verdict = judge_series("retries", [0, 0, 1, 0, 0, 1])
+        assert verdict.status == "ok"
+        assert abs(verdict.z) < 4.0
+
+    def test_constant_history_still_detects_real_jump(self):
+        # A deterministic metric that was flat and genuinely moved
+        # must still gate (scale floors, not the stdev fallback).
+        verdict = judge_series("retries", [5, 5, 5, 5, 5, 20])
+        assert verdict.status == "regression"
+
+    def test_unknown_direction_reports_drift_only(self):
+        verdict = judge_series("jobs", [10, 10, 10, 10, 10, 100])
+        assert verdict.status == "drift"
+        assert not verdict.gated
+
+
+class TestCheckTrajectories:
+    def _seed(self, tmp_path, walls):
+        for i, wall in enumerate(walls):
+            append_trajectory("kernel", {"aur": 1.0}, wall_s=wall,
+                              directory=tmp_path, now=float(i))
+
+    def test_clean_store(self, tmp_path):
+        self._seed(tmp_path, [1.0, 1.01, 0.99, 1.02, 0.98, 1.0])
+        report = check_trajectories(tmp_path)
+        assert not report.regressed
+        assert "gate clean" in report.render()
+
+    def test_regressed_store_and_report(self, tmp_path):
+        self._seed(tmp_path, [1.0, 1.01, 0.99, 1.02, 0.98, 3.1])
+        report = check_trajectories(tmp_path)
+        assert report.regressed
+        text = report.render()
+        assert "REGRESSION" in text
+        assert "GATE FAILED: 1 regressed series" in text
+
+    def test_empty_store(self, tmp_path):
+        report = check_trajectories(tmp_path)
+        assert not report.regressed
+        assert "nothing to gate" in report.render()
+
+
+class TestBenchCheckCli:
+    """Acceptance: `repro bench check` exits 0 on the clean fixture and
+    non-zero once a 3x slowdown is injected into the trajectory."""
+
+    def test_clean_fixture_passes(self, tmp_path, capsys):
+        rc = main(["bench", "check", "--dir", str(CLEAN_FIXTURE),
+                   "--json", str(tmp_path / "out.json")])
+        assert rc == 0
+        assert "gate clean" in capsys.readouterr().out
+        payload = json.loads((tmp_path / "out.json").read_text())
+        assert payload["command"] == "bench"
+        assert payload["regressed"] is False
+        assert payload["exit_code"] == 0
+
+    def _inject_slowdown(self, tmp_path) -> pathlib.Path:
+        store = tmp_path / "trajectories"
+        shutil.copytree(CLEAN_FIXTURE, store)
+        path = store / "kernel.json"
+        document = json.loads(path.read_text())
+        last = document["entries"][-1]
+        slow = json.loads(json.dumps(last))
+        slow["seq"] = last["seq"] + 1
+        slow["wall_s"] = round(last["wall_s"] * 3.0, 6)
+        document["entries"].append(slow)
+        path.write_text(json.dumps(document))
+        return store
+
+    def test_injected_slowdown_fails_gate(self, tmp_path, capsys):
+        store = self._inject_slowdown(tmp_path)
+        report_path = tmp_path / "gate.txt"
+        rc = main(["bench", "check", "--dir", str(store),
+                   "--report", str(report_path)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "GATE FAILED" in out
+        assert "wall_s" in out
+        # The --report artifact CI uploads carries the same verdict.
+        assert "GATE FAILED" in report_path.read_text()
+
+    def test_report_action_never_gates(self, tmp_path, capsys):
+        store = self._inject_slowdown(tmp_path)
+        rc = main(["bench", "report", "--dir", str(store)])
+        assert rc == 0
+        assert "GATE FAILED" in capsys.readouterr().out
+
+    def test_record_appends_entry(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        rc = main(["bench", "record", "--dir", str(store),
+                   "--horizon-ms", "5", "--seed", "7"])
+        assert rc == 0
+        entries = load_trajectory("kernel", store)["entries"]
+        assert len(entries) == 1
+        assert entries[0]["metrics"]["seed"] == 7
+        assert "trajectory entry appended" in capsys.readouterr().out
