@@ -32,14 +32,20 @@ from repro._version import __version__
 from repro.api import (
     CampaignConfig,
     CampaignEngine,
+    Scenario,
     SimulationSummary,
     atomic_write,
+    quick_scenario,
     quick_simulation,
     run_simulations,
+    simulate,
 )
 
 __all__ = [
     "__version__",
+    "Scenario",
+    "simulate",
+    "quick_scenario",
     "quick_simulation",
     "run_simulations",
     "SimulationSummary",

@@ -1,22 +1,29 @@
 """High-level convenience API.
 
-:func:`quick_simulation` wires together the full stack — random task set,
-UAM arrival generation, scheduler policy, kernel — for one-call
-experiments.  The experiment harness in :mod:`repro.experiments` uses the
-same building blocks with the paper's exact workload parameters.
+The canonical entry point is :func:`simulate` applied to a
+:class:`~repro.scenario.Scenario` — a frozen, declarative description of
+one run (workload, sync style, horizon, seed, fault layer).  Everything
+else is a thin wrapper:
+
+* :func:`quick_simulation` builds the quick-look random-workload
+  Scenario (see :func:`quick_scenario`) and runs it;
+* :func:`run_simulations` is its campaign-aware batch counterpart;
+* ``simulate(tasks, sync, horizon, seed, ...)`` — the legacy positional
+  signature — still works but emits a :class:`DeprecationWarning`;
+* the historical kwarg spellings ``fault_plan=`` (for ``faults=``) and
+  ``obs=`` (for ``observer=``) are accepted everywhere with a
+  :class:`DeprecationWarning`.
 
 The resilient campaign layer is re-exported here for one-stop imports:
 :class:`CampaignConfig` / :class:`CampaignEngine` (crash-isolated
 parallel trials, per-trial timeouts, seeded retry with backoff,
 checkpointed resume) and :func:`atomic_write` (interrupt-safe artifact
-writes).  :func:`run_simulations` is the campaign-aware batch
-counterpart of :func:`quick_simulation`.
+writes).
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
+import warnings
 
 from repro.campaign import (           # noqa: F401 - public re-exports
     CampaignConfig,
@@ -32,17 +39,36 @@ from repro.obs import (                # noqa: F401 - public re-exports
     Observer,
 )
 
-from repro.arrivals.generators import generator_for
+from dataclasses import dataclass
+
 from repro.core.edf import EDF
-from repro.faults.degradation import AdmissionPolicy, RetryGuard
-from repro.faults.plan import FaultPlan
+from repro.core.llf import LLF
 from repro.core.rua_lockbased import LockBasedRUA
 from repro.core.rua_lockfree import LockFreeRUA
+from repro.scenario import Scenario
 from repro.sim.kernel import Kernel, SimulationConfig, SyncMode
 from repro.sim.metrics import SimulationResult
 from repro.sim.overheads import KernelCosts
 from repro.tasks.task import TaskSpec
 from repro.tasks.taskset import approximate_load
+
+__all__ = [
+    "Scenario",
+    "SimulationSummary",
+    "simulate",
+    "quick_scenario",
+    "quick_simulation",
+    "run_simulations",
+    "build_policy_and_mode",
+    "CampaignConfig",
+    "CampaignEngine",
+    "CampaignResult",
+    "CampaignStats",
+    "TrialFailure",
+    "atomic_write",
+    "Observer",
+    "NULL_OBSERVER",
+]
 
 
 @dataclass(frozen=True)
@@ -86,51 +112,161 @@ def build_policy_and_mode(sync: str):
     raise ValueError(f"unknown sync style {sync!r}")
 
 
-def simulate(tasks: list[TaskSpec], sync: str, horizon: int, seed: int,
-             arrival_style: str = "uniform",
-             trace: bool = False,
-             fault_plan: "FaultPlan | None" = None,
-             admission: "AdmissionPolicy | None" = None,
-             retry_guard: "RetryGuard | None" = None,
-             monitors: bool = False,
-             observer=None) -> SimulationSummary:
-    """Run one simulation of ``tasks`` under the given sync style.
+def _coalesce_deprecated(canonical_name: str, canonical_value,
+                         old_name: str, old_value, *,
+                         stacklevel: int = 3):
+    """Resolve a renamed keyword: prefer the canonical spelling, accept
+    the old one with a DeprecationWarning, reject both at once."""
+    if old_value is None:
+        return canonical_value
+    warnings.warn(
+        f"{old_name}= is deprecated; use {canonical_name}=",
+        DeprecationWarning, stacklevel=stacklevel)
+    if canonical_value is not None:
+        raise TypeError(
+            f"pass {canonical_name}= or {old_name}=, not both")
+    return old_value
 
-    The optional fault/degradation arguments (see :mod:`repro.faults`)
-    inject a deterministic fault plan, guard UAM admission, bound
-    lock-free retries, and attach the runtime invariant monitors; the
-    run's degradation report lands on ``summary.result.degradation``.
-    ``observer`` attaches a recording :class:`repro.obs.Observer`; its
-    end-of-run summary lands on ``summary.result.obs``.
-    """
-    rng = random.Random(seed)
-    traces = [
-        generator_for(task.arrival, arrival_style).generate(rng, horizon)
-        for task in tasks
-    ]
-    policy, mode, costs = build_policy_and_mode(sync)
+
+def _run_scenario(scenario: Scenario, observer=None) -> SimulationSummary:
+    """Execute one Scenario on a fresh kernel."""
+    tasks, traces = scenario.materialize()
+    policy, mode, costs = build_policy_and_mode(scenario.sync)
+    if scenario.policy == "edf":
+        policy = EDF()
+    elif scenario.policy == "llf":
+        policy = LLF()
+    if scenario.costs is not None:
+        costs = scenario.costs
     config = SimulationConfig(
         tasks=tasks,
         arrival_traces=traces,
         policy=policy,
-        horizon=horizon,
+        horizon=scenario.horizon,
         sync=mode,
         costs=costs,
-        trace=trace,
-        fault_plan=fault_plan,
-        admission=admission,
-        retry_guard=retry_guard,
-        monitors=monitors,
+        retry_policy=scenario.retry_policy,
+        trace=scenario.trace,
+        fault_plan=scenario.faults,
+        admission=scenario.admission,
+        retry_guard=scenario.retry_guard,
+        monitors=scenario.monitors,
         observer=observer,
     )
     result = Kernel(config).run()
     return SimulationSummary(
         policy=policy.name,
-        sync=sync,
+        sync=scenario.sync,
         load=approximate_load(tasks),
         aur=result.aur,
         cmr=result.cmr,
         result=result,
+    )
+
+
+def simulate(scenario=None, sync=None, horizon=None, seed=None,
+             arrival_style: str = "uniform",
+             trace: bool = False,
+             faults=None,
+             fault_plan=None,
+             admission=None,
+             retry_guard=None,
+             monitors: bool = False,
+             observer=None,
+             obs=None,
+             tasks=None) -> SimulationSummary:
+    """Run one simulation.
+
+    Canonical form: ``simulate(scenario)`` with a
+    :class:`~repro.scenario.Scenario` (plus an optional ``observer=`` to
+    attach a recording :class:`repro.obs.Observer`; its end-of-run
+    summary lands on ``summary.result.obs``).
+
+    Legacy form (deprecated, still exact): ``simulate(tasks, sync,
+    horizon, seed, ...)`` — a concrete task list with arrivals drawn
+    from ``random.Random(seed)``.  It is equivalent to::
+
+        simulate(Scenario(tasks=tuple(tasks), sync=sync, horizon=horizon,
+                          seed=seed, seeding="shared", ...))
+
+    The optional fault/degradation arguments (see :mod:`repro.faults`)
+    inject a deterministic fault plan, guard UAM admission, bound
+    lock-free retries, and attach the runtime invariant monitors; the
+    run's degradation report lands on ``summary.result.degradation``.
+    """
+    observer = _coalesce_deprecated("observer", observer, "obs", obs)
+    faults = _coalesce_deprecated("faults", faults, "fault_plan",
+                                  fault_plan)
+    if isinstance(scenario, Scenario):
+        extras = (sync, horizon, seed, tasks, faults, admission,
+                  retry_guard)
+        if (any(value is not None for value in extras) or trace
+                or monitors or arrival_style != "uniform"):
+            raise TypeError(
+                "simulate(scenario) takes the full configuration from "
+                "the Scenario; only observer= may be passed alongside")
+        return _run_scenario(scenario, observer=observer)
+    if tasks is None:
+        tasks = scenario
+    if tasks is None or sync is None or horizon is None or seed is None:
+        raise TypeError(
+            "simulate() needs a Scenario, or the legacy "
+            "(tasks, sync, horizon, seed) signature")
+    warnings.warn(
+        "simulate(tasks, sync, horizon, seed, ...) is deprecated; "
+        "build a repro.Scenario and call simulate(scenario)",
+        DeprecationWarning, stacklevel=2)
+    legacy = Scenario(
+        sync=sync,
+        horizon=horizon,
+        seed=seed,
+        tasks=tuple(tasks),
+        seeding="shared",
+        arrival_style=arrival_style,
+        trace=trace,
+        faults=faults,
+        admission=admission,
+        retry_guard=retry_guard,
+        monitors=monitors,
+    )
+    return _run_scenario(legacy, observer=observer)
+
+
+def quick_scenario(n_tasks: int = 5,
+                   n_objects: int = 3,
+                   sync: str = "lockfree",
+                   load: float = 0.8,
+                   horizon_us: int = 500_000,
+                   seed: int = 0,
+                   tuf_class: str = "step",
+                   arrival_style: str = "uniform") -> Scenario:
+    """The declarative form of :func:`quick_simulation`'s run: the
+    paper-style random workload with the quick-look parameter defaults.
+
+    ``horizon_us`` is in microseconds for convenience; everything else in
+    the package uses nanosecond ticks.  ``seeding="split"`` preserves the
+    historical convention exactly: tasks from ``Random(seed)``, arrivals
+    from ``Random(seed + 1)``.
+    """
+    from repro.experiments.workloads import BuilderSpec
+
+    workload = BuilderSpec.make(
+        "paper",
+        n_tasks=n_tasks,
+        n_objects=n_objects,
+        accesses_per_job=min(2, n_objects),
+        avg_exec=300_000,                   # 300 µs
+        access_duration=5_000,              # 5 µs per operation
+        tuf_class=tuf_class,
+        target_load=load,
+    )
+    return Scenario(
+        sync=sync,
+        horizon=horizon_us * 1_000,
+        seed=seed,
+        workload=workload,
+        seeding="split",
+        arrival_style=arrival_style,
     )
 
 
@@ -142,28 +278,16 @@ def quick_simulation(n_tasks: int = 5,
                      seed: int = 0,
                      tuf_class: str = "step",
                      arrival_style: str = "uniform",
-                     observer=None) -> SimulationSummary:
-    """One-call random-workload simulation (see the package docstring).
-
-    ``horizon_us`` is in microseconds for convenience; everything else in
-    the package uses nanosecond ticks.
-    """
-    from repro.experiments.workloads import paper_taskset
-
-    rng = random.Random(seed)
-    tasks = paper_taskset(
-        rng,
-        n_tasks=n_tasks,
-        n_objects=n_objects,
-        accesses_per_job=min(2, n_objects),
-        avg_exec=300_000,                   # 300 µs
-        access_duration=5_000,              # 5 µs per operation
-        tuf_class=tuf_class,
-        target_load=load,
-    )
-    return simulate(tasks, sync=sync, horizon=horizon_us * 1_000,
-                    seed=seed + 1, arrival_style=arrival_style,
-                    observer=observer)
+                     observer=None,
+                     obs=None) -> SimulationSummary:
+    """One-call random-workload simulation (see the package docstring):
+    a thin wrapper over ``simulate(quick_scenario(...))``."""
+    observer = _coalesce_deprecated("observer", observer, "obs", obs)
+    scenario = quick_scenario(
+        n_tasks=n_tasks, n_objects=n_objects, sync=sync, load=load,
+        horizon_us=horizon_us, seed=seed, tuf_class=tuf_class,
+        arrival_style=arrival_style)
+    return simulate(scenario, observer=observer)
 
 
 def run_simulations(seeds: list[int],
@@ -179,9 +303,10 @@ def run_simulations(seeds: list[int],
     """Batch counterpart of :func:`quick_simulation`: one seeded run per
     entry of ``seeds``, optionally routed through the resilient campaign
     engine (``campaign=CampaignConfig(workers=4, ...)``).  Each trial
-    derives everything from its own seed, so serial and parallel
-    execution return identical summaries; trials that failed terminally
-    under a campaign are dropped from the returned list.
+    derives everything from its own seed (a seed-parameterized
+    :func:`quick_scenario`), so serial and parallel execution return
+    identical summaries; trials that failed terminally under a campaign
+    are dropped from the returned list.
     """
     from repro.campaign import as_engine
 

@@ -42,7 +42,7 @@ import json
 import sys
 
 from repro.analysis.sojourn import compare_sojourn
-from repro.api import quick_simulation
+from repro.api import quick_scenario, simulate
 from repro.campaign import (
     CampaignConfig,
     CampaignEngine,
@@ -352,13 +352,15 @@ def _cmd_quick(args) -> int:
     observer = Observer() if args.json else None
     print(f"{'style':<10} {'AUR':>6} {'CMR':>6} {'jobs':>6} "
           f"{'retries':>8} {'blocked':>8}")
-    for sync in syncs:
-        summary = quick_simulation(
+    scenarios = {
+        sync: quick_scenario(
             n_tasks=args.tasks, n_objects=args.objects, sync=sync,
             load=args.load, horizon_us=args.horizon_ms * 1000,
-            seed=args.seed, tuf_class=args.tuf_class,
-            observer=observer,
-        )
+            seed=args.seed, tuf_class=args.tuf_class)
+        for sync in syncs
+    }
+    for sync, scenario in scenarios.items():
+        summary = simulate(scenario, observer=observer)
         result = summary.result
         print(f"{sync:<10} {summary.aur:6.3f} {summary.cmr:6.3f} "
               f"{len(result.records):6d} {result.total_retries:8d} "
@@ -371,8 +373,14 @@ def _cmd_quick(args) -> int:
             "retries": result.total_retries,
             "blockings": result.total_blockings,
         })
+    # The declarative scenario (one entry per sync style differs only in
+    # `sync`, so publish the first with sync dropped) lets consumers
+    # replay the exact runs via Scenario.from_dict.
+    scenario_dict = next(iter(scenarios.values())).to_dict()
+    del scenario_dict["sync"]
     _write_json(args, {"command": "quick", "seed": args.seed,
-                       "load": args.load, "rows": rows},
+                       "load": args.load, "syncs": list(syncs),
+                       "scenario": scenario_dict, "rows": rows},
                 obs=observer.summary() if observer is not None else None)
     return 0
 

@@ -14,7 +14,7 @@
   suite asserts.
 """
 
-from repro.core.interface import SchedulerPolicy
+from repro.core.interface import PassResult, SchedulerPolicy, fastpath_enabled
 from repro.core.dependency import (
     DeadlockDetected,
     blocking_owner,
@@ -23,7 +23,12 @@ from repro.core.dependency import (
 )
 from repro.core.pud import chain_pud, completion_estimates
 from repro.core.feasibility import is_feasible
-from repro.core.schedule_builder import build_rua_schedule, insert_chain
+from repro.core.schedule_builder import (
+    build_rua_schedule,
+    build_rua_schedule_inplace,
+    insert_chain,
+)
+from repro.core.schedule_cache import ScheduleCache, build_singleton_schedule
 from repro.core.deadlock import detect_deadlock, pick_deadlock_victim
 from repro.core.rua_lockbased import LockBasedRUA
 from repro.core.rua_lockfree import LockFreeRUA
@@ -32,6 +37,11 @@ from repro.core.llf import LLF
 
 __all__ = [
     "SchedulerPolicy",
+    "PassResult",
+    "fastpath_enabled",
+    "ScheduleCache",
+    "build_singleton_schedule",
+    "build_rua_schedule_inplace",
     "DeadlockDetected",
     "needed_object",
     "blocking_owner",

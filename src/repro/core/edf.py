@@ -9,7 +9,7 @@ effect), which is what UA scheduling exists to fix.
 
 from __future__ import annotations
 
-from repro.core.interface import SchedulerPolicy
+from repro.core.interface import PassResult, SchedulerPolicy
 from repro.sim.locks import LockManager
 from repro.sim.overheads import CostModel, default_edf_cost
 from repro.tasks.job import Job
@@ -25,6 +25,7 @@ class EDF(SchedulerPolicy):
         super().__init__()
         self.cost_model = cost_model or default_edf_cost()
 
-    def schedule(self, jobs: list[Job], locks: LockManager | None,
-                 now: int) -> list[Job]:
-        return sorted(jobs, key=lambda job: (job.critical_time_abs, job.name))
+    def _compute(self, jobs: list[Job], locks: LockManager | None,
+                 now: int) -> PassResult:
+        return PassResult(order=sorted(
+            jobs, key=lambda job: (job.critical_time_abs, job.name)))

@@ -10,16 +10,57 @@ Jobs *absent* from the returned order are rejected for this scheduling
 event (RUA drops infeasible jobs from its tentative schedule); they remain
 live and will be reconsidered at the next event or aborted at their
 critical times.
+
+``schedule`` is a concrete template method: it validates the inputs, runs
+the exact wall-clock fast path (empty-pass short-circuit and
+unchanged-state memoization — disabled by ``REPRO_NO_FASTPATH``), emits
+the policy's deterministic observability counters identically on every
+path, and delegates the actual decision to ``_compute``.  Because a
+scheduling pass is a deterministic pure function of ``(jobs' scheduling
+state, lock state, now)``, replaying a memoized pass is *exact*: the
+simulated cost model is still charged by the kernel, so fixed-seed results
+are byte-identical with the fast path on or off (see DESIGN.md §12).
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+import os
+from abc import ABC
+from dataclasses import dataclass
 
 from repro.obs.observer import NULL_OBSERVER, NullObserver
 from repro.sim.locks import LockManager
 from repro.sim.overheads import CostModel
 from repro.tasks.job import Job
+
+
+def fastpath_enabled() -> bool:
+    """True unless ``REPRO_NO_FASTPATH`` is set (to anything non-empty).
+
+    The reference path recomputes every scheduling pass from scratch; the
+    fast path memoizes, short-circuits and repairs.  Both produce
+    identical results by construction — the equivalence suite
+    (``tests/core/test_fastpath_equivalence.py``) pins it.
+    """
+    return not os.environ.get("REPRO_NO_FASTPATH")
+
+
+@dataclass(slots=True)
+class PassResult:
+    """Outcome of one scheduling pass, as produced by ``_compute``.
+
+    Carries the eligibility order plus the deterministic counter material
+    the base class emits, so memoized replays report exactly what a fresh
+    computation would have.
+    """
+
+    order: list[Job]
+    #: Jobs examined but dropped as infeasible (RUA rejection).
+    rejections: int = 0
+    #: Deadlock victims selected during this pass (lock-based + nesting).
+    victims: int = 0
+    #: Length of the longest dependency chain seen (0 = no chains built).
+    chain_len_max: int = 0
 
 
 class SchedulerPolicy(ABC):
@@ -32,14 +73,101 @@ class SchedulerPolicy(ABC):
     #: Observability sink (repro.obs).  The kernel replaces this with its
     #: configured observer; policies guard hooks with ``self.obs.enabled``.
     obs: NullObserver = NULL_OBSERVER
+    #: Whether this policy reports the ``sched.*`` counter family (the
+    #: RUA policies do; the EDF/LLF baselines never have).
+    emits_counters: bool = False
+    #: Whether exact pass memoization pays for itself.  True for policies
+    #: whose ``_compute`` is super-linear (RUA); the baseline sorts are
+    #: cheaper than building the state signature.
+    memoizes: bool = False
 
     def __init__(self) -> None:
         self._deadlock_victims: list[Job] = []
+        self._memo_key: tuple | None = None
+        self._memo_result: PassResult | None = None
 
-    @abstractmethod
     def schedule(self, jobs: list[Job], locks: LockManager | None,
                  now: int) -> list[Job]:
         """Return jobs in eligibility order (head runs first)."""
+        self._validate(jobs, locks)
+        obs = self.obs
+        fast = fastpath_enabled()
+        key: tuple | None = None
+        if fast:
+            if not jobs:
+                # Provably-empty pass: no candidates, the order is [] and
+                # no policy state can change.  Emit the same counters a
+                # real pass over zero jobs would.
+                if obs.enabled:
+                    self._emit_counters(PassResult(order=[]))
+                    obs.counter("sched.pass.skipped")
+                return []
+            if self.memoizes:
+                key = self._signature(jobs, locks, now)
+                if key is not None and key == self._memo_key:
+                    result = self._memo_result
+                    if obs.enabled:
+                        self._emit_counters(result)
+                        obs.counter("sched.cache.hit")
+                    return list(result.order)
+        result = self._compute(jobs, locks, now)
+        if fast and self.memoizes:
+            # Never memoize a pass that selected deadlock victims: the
+            # ``request_abort`` side effect would not replay.
+            if result.victims == 0:
+                self._memo_key = key
+                self._memo_result = result
+            else:
+                self._memo_key = None
+                self._memo_result = None
+            if obs.enabled:
+                obs.counter("sched.cache.miss")
+        if obs.enabled:
+            self._emit_counters(result)
+        return result.order
+
+    def _compute(self, jobs: list[Job], locks: LockManager | None,
+                 now: int) -> PassResult:
+        """The policy's decision procedure.  Must be a deterministic pure
+        function of the jobs' scheduling state, the lock state and ``now``
+        (plus the ``request_abort`` channel, which disables memoization
+        for the pass)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _compute() "
+            "(or override schedule() entirely)")
+
+    def _validate(self, jobs: list[Job], locks: LockManager | None) -> None:
+        """Input validation hook; runs before any fast-path shortcut."""
+
+    def _signature(self, jobs: list[Job], locks: LockManager | None,
+                   now: int) -> tuple | None:
+        """Hashable snapshot of everything ``_compute`` may read.
+
+        Per job that is the scheduling-relevant mutable state (segment
+        position/progress and blocking target — ``remaining_time``,
+        PUDs, laxities and dependency chains all derive from these plus
+        immutable task attributes), keyed by the never-recycled job
+        serial; plus the lock manager's mutation version and the clock.
+        """
+        lock_version = -1 if locks is None else locks.version
+        return (
+            now, lock_version,
+            tuple((job.serial, job.segment_index, job.segment_progress,
+                   job.blocked_on) for job in jobs),
+        )
+
+    def _emit_counters(self, result: PassResult) -> None:
+        """Deterministic per-pass counters, identical on the computed,
+        memoized and short-circuited paths."""
+        if not self.emits_counters:
+            return
+        obs = self.obs
+        obs.counter("sched.passes")
+        obs.counter("sched.rejections", result.rejections)
+        if result.victims:
+            obs.counter("sched.deadlock_victims", result.victims)
+        if result.chain_len_max:
+            obs.histogram("sched.chain_len", result.chain_len_max)
 
     # ------------------------------------------------------------------
     # Deadlock resolution channel (lock-based RUA with nesting only)

@@ -10,7 +10,7 @@ RUA.
 
 from __future__ import annotations
 
-from repro.core.interface import SchedulerPolicy
+from repro.core.interface import PassResult, SchedulerPolicy
 from repro.sim.locks import LockManager
 from repro.sim.overheads import CostModel, default_edf_cost
 from repro.tasks.job import Job
@@ -26,9 +26,10 @@ class LLF(SchedulerPolicy):
         super().__init__()
         self.cost_model = cost_model or default_edf_cost()
 
-    def schedule(self, jobs: list[Job], locks: LockManager | None,
-                 now: int) -> list[Job]:
+    def _compute(self, jobs: list[Job], locks: LockManager | None,
+                 now: int) -> PassResult:
         def laxity(job: Job) -> int:
             return (job.critical_time_abs - now) - job.remaining_time()
 
-        return sorted(jobs, key=lambda job: (laxity(job), job.name))
+        return PassResult(order=sorted(
+            jobs, key=lambda job: (laxity(job), job.name)))

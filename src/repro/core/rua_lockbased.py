@@ -13,15 +13,25 @@ The algorithm, at every scheduling event:
 Asymptotic cost ``O(n^2 log n)``, dominated by Step 5 (Section 3.6); the
 matching simulated cost is charged through
 :func:`repro.sim.overheads.default_lockbased_rua_cost`.
+
+Step 5 runs through one of three result-identical constructions: when
+every chain is a singleton (no job blocked) the copy-free specialization
+with cross-pass repair (:mod:`repro.core.schedule_cache`); with real
+chains the undo-log in-place builder; under ``REPRO_NO_FASTPATH`` the
+copying Section 3.4 reference.
 """
 
 from __future__ import annotations
 
 from repro.core.deadlock import detect_deadlock, pick_deadlock_victim
 from repro.core.dependency import all_dependency_chains
-from repro.core.interface import SchedulerPolicy
+from repro.core.interface import PassResult, SchedulerPolicy, fastpath_enabled
 from repro.core.pud import chain_pud
-from repro.core.schedule_builder import build_rua_schedule
+from repro.core.schedule_builder import (
+    build_rua_schedule,
+    build_rua_schedule_inplace,
+)
+from repro.core.schedule_cache import ScheduleCache, build_singleton_schedule
 from repro.sim.locks import LockManager
 from repro.sim.overheads import CostModel, default_lockbased_rua_cost
 from repro.tasks.job import Job
@@ -32,15 +42,18 @@ class LockBasedRUA(SchedulerPolicy):
     object sharing."""
 
     name = "rua-lockbased"
+    emits_counters = True
+    memoizes = True
 
     def __init__(self, cost_model: CostModel | None = None,
                  detect_deadlocks: bool = True) -> None:
         super().__init__()
         self.cost_model = cost_model or default_lockbased_rua_cost()
         self.detect_deadlocks = detect_deadlocks
+        self._schedule_cache = ScheduleCache()
 
-    def schedule(self, jobs: list[Job], locks: LockManager | None,
-                 now: int) -> list[Job]:
+    def _compute(self, jobs: list[Job], locks: LockManager | None,
+                 now: int) -> PassResult:
         candidates = list(jobs)
         victims: set[Job] = set()
         # Step 3 first in implementation order: resolving a deadlock
@@ -66,23 +79,50 @@ class LockBasedRUA(SchedulerPolicy):
         on_cycle = "raise" if self.detect_deadlocks else "truncate"
         chains = all_dependency_chains(candidates, locks, ignore=victims,
                                        on_cycle=on_cycle)
-        puds = {job: chain_pud(chains[job], now) for job in candidates}
-        # Step 4: non-increasing PUD; deterministic tie-breaks (earlier
-        # critical time, then name).
-        pud_order = sorted(
-            candidates,
-            key=lambda job: (-puds[job], job.critical_time_abs, job.name),
-        )
-        # Step 5: tentative-schedule construction.
-        order = build_rua_schedule(pud_order, chains, now)
-        if self.obs.enabled:
-            self.obs.counter("sched.passes")
-            self.obs.counter("sched.rejections",
-                             len(candidates) - len(order))
-            if victims:
-                self.obs.counter("sched.deadlock_victims", len(victims))
-            if chains:
-                self.obs.histogram(
-                    "sched.chain_len",
-                    max(len(chain) for chain in chains.values()))
-        return order
+        chain_len_max = 0
+        singleton = True
+        for chain in chains.values():
+            length = len(chain)
+            if length > chain_len_max:
+                chain_len_max = length
+                if length > 1:
+                    singleton = False
+        fast = fastpath_enabled()
+        if fast and singleton:
+            # Step 4-5, singleton specialization: every chain is the job
+            # itself, so the PUD inlines (same arithmetic as chain_pud on
+            # a one-job chain) and the copy-free builder applies.
+            entries = []
+            for job in candidates:
+                remaining = job.remaining_time()
+                if remaining <= 0:
+                    pud = float("inf")
+                else:
+                    utility = 0.0 + job.task.tuf.utility(
+                        now + remaining - job.release_time)
+                    pud = utility / remaining
+                entries.append(((-pud, job.critical_time_abs, job.name),
+                                remaining, job))
+            entries.sort(key=lambda entry: entry[0])
+            order = build_singleton_schedule(
+                [(job, remaining, key[1])
+                 for key, remaining, job in entries],
+                now, cache=self._schedule_cache, obs=self.obs)
+        else:
+            puds = {job: chain_pud(chains[job], now) for job in candidates}
+            # Step 4: non-increasing PUD; deterministic tie-breaks
+            # (earlier critical time, then name).
+            pud_order = sorted(
+                candidates,
+                key=lambda job: (-puds[job], job.critical_time_abs,
+                                 job.name),
+            )
+            # Step 5: tentative-schedule construction.
+            if fast:
+                order = build_rua_schedule_inplace(pud_order, chains, now)
+            else:
+                order = build_rua_schedule(pud_order, chains, now)
+        return PassResult(order=order,
+                          rejections=len(candidates) - len(order),
+                          victims=len(victims),
+                          chain_len_max=chain_len_max)

@@ -7,14 +7,19 @@ drops to ``O(n)`` and Step 5 (schedule construction) to ``O(n^2)`` — the
 paper's headline cost reduction from ``O(n^2 log n)`` to ``O(n^2)``.
 
 The construction is otherwise identical: non-increasing PUD examination,
-ECF insertion, feasibility testing with rejection.
+ECF insertion, feasibility testing with rejection.  On the fast path the
+singleton-chain specialization (:mod:`repro.core.schedule_cache`) runs the
+construction copy-free with cross-pass prefix repair; under
+``REPRO_NO_FASTPATH`` the reference Section 3.4 builder runs instead —
+the two are result-identical by construction and by test.
 """
 
 from __future__ import annotations
 
-from repro.core.interface import SchedulerPolicy
+from repro.core.interface import PassResult, SchedulerPolicy, fastpath_enabled
 from repro.core.pud import chain_pud
 from repro.core.schedule_builder import build_rua_schedule
+from repro.core.schedule_cache import ScheduleCache, build_singleton_schedule
 from repro.sim.locks import LockManager
 from repro.sim.overheads import CostModel, default_lockfree_rua_cost
 from repro.tasks.job import Job
@@ -24,26 +29,51 @@ class LockFreeRUA(SchedulerPolicy):
     """RUA specialized for lock-free sharing: no dependency chains."""
 
     name = "rua-lockfree"
+    emits_counters = True
+    memoizes = True
 
     def __init__(self, cost_model: CostModel | None = None) -> None:
         super().__init__()
         self.cost_model = cost_model or default_lockfree_rua_cost()
+        self._schedule_cache = ScheduleCache()
 
-    def schedule(self, jobs: list[Job], locks: LockManager | None,
-                 now: int) -> list[Job]:
+    def _validate(self, jobs: list[Job],
+                  locks: LockManager | None) -> None:
         if locks is not None:
             raise ValueError(
                 "LockFreeRUA must not be used with lock-based sharing; "
                 "use LockBasedRUA or SyncMode.LOCK_FREE"
             )
-        chains = {job: [job] for job in jobs}
-        puds = {job: chain_pud(chains[job], now) for job in jobs}
-        pud_order = sorted(
-            jobs,
-            key=lambda job: (-puds[job], job.critical_time_abs, job.name),
-        )
-        order = build_rua_schedule(pud_order, chains, now)
-        if self.obs.enabled:
-            self.obs.counter("sched.passes")
-            self.obs.counter("sched.rejections", len(jobs) - len(order))
-        return order
+
+    def _compute(self, jobs: list[Job], locks: LockManager | None,
+                 now: int) -> PassResult:
+        if not fastpath_enabled():
+            chains = {job: [job] for job in jobs}
+            puds = {job: chain_pud(chains[job], now) for job in jobs}
+            pud_order = sorted(
+                jobs,
+                key=lambda job: (-puds[job], job.critical_time_abs,
+                                 job.name),
+            )
+            order = build_rua_schedule(pud_order, chains, now)
+            return PassResult(order=order,
+                              rejections=len(jobs) - len(order))
+        # Fast path: inline the singleton-chain PUD (identical arithmetic
+        # to chain_pud over a one-job chain) and run the copy-free
+        # builder with cross-pass repair.
+        entries = []
+        for job in jobs:
+            remaining = job.remaining_time()
+            if remaining <= 0:
+                pud = float("inf")
+            else:
+                utility = 0.0 + job.task.tuf.utility(
+                    now + remaining - job.release_time)
+                pud = utility / remaining
+            entries.append(((-pud, job.critical_time_abs, job.name),
+                            remaining, job))
+        entries.sort(key=lambda entry: entry[0])
+        order = build_singleton_schedule(
+            [(job, remaining, key[1]) for key, remaining, job in entries],
+            now, cache=self._schedule_cache, obs=self.obs)
+        return PassResult(order=order, rejections=len(jobs) - len(order))

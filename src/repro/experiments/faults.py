@@ -95,7 +95,7 @@ def faults_trial(level: int, seed: int, horizon: int, load: float,
                                   bursts_per_task=level,
                                   burst_size=burst_size)
             if level else FaultPlan(seed=seed + 13))
-    shared = dict(fault_plan=plan, retry_guard=retry_guard,
+    shared = dict(faults=plan, retry_guard=retry_guard,
                   monitors=True)
     g_result = run_once(tasks, "lockfree", horizon,
                         random.Random(seed + 1),

@@ -22,13 +22,13 @@ from __future__ import annotations
 import random
 from typing import Callable
 
-from repro.api import build_policy_and_mode
+from repro.api import _coalesce_deprecated, simulate
 from repro.arrivals.generators import generator_for
 from repro.campaign import CampaignConfig, CampaignEngine, as_engine
 from repro.campaign.spec import TrialSpec
 from repro.faults.degradation import AdmissionPolicy, RetryGuard
 from repro.faults.plan import FaultPlan
-from repro.sim.kernel import Kernel, SimulationConfig
+from repro.scenario import Scenario
 from repro.sim.metrics import SimulationResult
 from repro.sim.objects import RetryPolicy
 from repro.tasks.task import TaskSpec
@@ -40,35 +40,43 @@ def run_once(tasks: list[TaskSpec], sync: str, horizon: int,
              rng: random.Random, arrival_style: str = "uniform",
              retry_policy: RetryPolicy = RetryPolicy.ON_CONFLICT,
              trace: bool = False,
+             faults: "FaultPlan | None" = None,
              fault_plan: "FaultPlan | None" = None,
              admission: "AdmissionPolicy | None" = None,
              retry_guard: "RetryGuard | None" = None,
              monitors: bool = False,
-             observer=None) -> SimulationResult:
-    """One simulation of a concrete task set.  The optional fault layer
-    and ``observer`` arguments mirror
-    :class:`repro.sim.kernel.SimulationConfig`."""
+             observer=None,
+             obs=None) -> SimulationResult:
+    """One simulation of a concrete task set: a thin wrapper over
+    :func:`repro.api.simulate`.
+
+    The caller owns ``rng`` (it may be mid-stream), so the arrival
+    traces are drawn here and handed to the Scenario explicitly rather
+    than re-derived from a seed.  The optional fault layer and
+    ``observer`` arguments mirror
+    :class:`repro.sim.kernel.SimulationConfig`; ``fault_plan=`` and
+    ``obs=`` are deprecated spellings of ``faults=`` / ``observer=``.
+    """
+    faults = _coalesce_deprecated("faults", faults, "fault_plan",
+                                  fault_plan)
+    observer = _coalesce_deprecated("observer", observer, "obs", obs)
     traces = [
         generator_for(task.arrival, arrival_style).generate(rng, horizon)
         for task in tasks
     ]
-    policy, mode, costs = build_policy_and_mode(sync)
-    config = SimulationConfig(
-        tasks=tasks,
-        arrival_traces=traces,
-        policy=policy,
+    scenario = Scenario(
+        sync=sync,
         horizon=horizon,
-        sync=mode,
-        costs=costs,
+        tasks=tuple(tasks),
+        arrival_traces=tuple(tuple(trace) for trace in traces),
         retry_policy=retry_policy,
         trace=trace,
-        fault_plan=fault_plan,
+        faults=faults,
         admission=admission,
         retry_guard=retry_guard,
         monitors=monitors,
-        observer=observer,
     )
-    return Kernel(config).run()
+    return simulate(scenario, observer=observer).result
 
 
 def simulation_trial(build_tasks: TasksetBuilder, sync: str, horizon: int,

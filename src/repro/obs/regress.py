@@ -74,7 +74,8 @@ HIGHER_IS_WORSE = frozenset({
     "wall_s", "retries", "blockings", "aborts", "time", "wasted",
     "backoff", "violations", "shed", "deferrals", "ns",
 })
-LOWER_IS_WORSE = frozenset({"aur", "cmr", "utility", "throughput"})
+LOWER_IS_WORSE = frozenset({"aur", "cmr", "utility", "throughput",
+                            "speedup"})
 
 
 def metric_direction(name: str) -> str:

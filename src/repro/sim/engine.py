@@ -20,6 +20,8 @@ class QueueEmpty(Exception):
 class EventQueue:
     """Priority queue of timed events with deterministic tie-breaking."""
 
+    __slots__ = ("_heap", "_sequence")
+
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, int, Any]] = []
         self._sequence = 0

@@ -36,7 +36,7 @@ class EventPriority(enum.IntEnum):
     MILESTONE = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobArrival:
     """Release of job ``jid`` of task index ``task_index``.
 
@@ -51,14 +51,14 @@ class JobArrival:
     deferrals: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CriticalTimeExpiry:
     """One-shot abort timer armed at the job's release (Section 3.5)."""
 
     job: Job
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Milestone:
     """The dispatched job reaches the end of its current segment.
 

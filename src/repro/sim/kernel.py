@@ -161,6 +161,10 @@ class Kernel:
         }
         self._queue = EventQueue()
         self._clock = 0
+        #: The live set, maintained incrementally: jobs append on arrival
+        #: and are removed at their completion/abort transition, so every
+        #: scheduling pass reads it as-is instead of re-filtering
+        #: (arrival order is preserved, exactly as the filter did).
         self._live: list[Job] = []
         self._running: Job | None = None
         self._running_since = 0
@@ -219,7 +223,11 @@ class Kernel:
             self._advance_running_to(time)
             self._clock = time
             self._handle(event)
-        self._result.unfinished = sum(1 for j in self._live if j.is_live)
+        # The live set contains exactly the unfinished jobs — completed
+        # and aborted jobs are removed at their transition (previously
+        # this re-scanned a stale list that could still carry departed
+        # entries between passes).
+        self._result.unfinished = len(self._live)
         self._result.degradation = self._report
         if self.obs.enabled:
             self.obs.close_open_spans(self._clock)
@@ -524,19 +532,25 @@ class Kernel:
         chosen: Job | None = None
         n = 0
         obs = self.obs
+        policy = self.config.policy
+        cost_model = policy.cost_model
+        result = self._result
+        lock_view = self._lock_view()
         wall_start = obs.clock() if obs.enabled else 0
         while True:
-            live = [j for j in self._live if j.is_live]
-            self._live = live
+            # The live set is maintained incrementally (arrival append,
+            # completion/abort removal), so a pass starts without the
+            # former re-filtering scan.
+            live = self._live
             n = len(live)
-            cost += self.config.policy.cost_model.cost(n)
-            self._result.scheduler_invocations += 1
+            cost += cost_model.cost(n)
+            result.scheduler_invocations += 1
             passes += 1
-            order = self.config.policy.schedule(live, self._lock_view(), now)
+            order = policy.schedule(live, lock_view, now)
             # Deadlock resolution (Section 3.3): the policy may request
             # aborts; each abort changes the dependency structure, so the
             # pass reruns (with its cost charged) until no victim remains.
-            victims = self.config.policy.consume_abort_requests()
+            victims = policy.consume_abort_requests()
             if victims:
                 for victim in victims:
                     if victim.is_live:
@@ -576,7 +590,7 @@ class Kernel:
         if (self._monitors is not None
                 and self.config.sync is SyncMode.LOCK_BASED):
             self._monitors.audit_locks(
-                now, [j for j in self._live if j.is_live], self._locks)
+                now, list(self._live), self._locks)
         self.tracer.emit(now, TraceKind.SCHED_PASS, "",
                          detail=f"n={n} cost={cost}")
         if obs.enabled:
@@ -699,6 +713,7 @@ class Kernel:
 
     def _complete(self, job: Job) -> None:
         job.state = JobState.COMPLETED
+        self._live.remove(job)
         job.completion_time = self._clock
         job.accrued_utility = job.task.tuf.utility(job.sojourn_time())
         self._result.records.append(record_of(job))
@@ -722,6 +737,7 @@ class Kernel:
         run the handler, roll back held resources, depart with zero
         utility."""
         job.state = JobState.ABORTED
+        self._live.remove(job)
         job.accrued_utility = 0.0
         if self.config.sync is SyncMode.LOCK_BASED:
             woken = self._locks.release_all(job)

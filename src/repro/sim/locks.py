@@ -30,6 +30,11 @@ class LockManager:
         #: Cumulative counters for metrics.
         self.acquisitions = 0
         self.contentions = 0
+        #: Monotonic mutation counter: bumped by every operation that can
+        #: change ownership or wait queues.  Scheduling-pass caches fold it
+        #: into their state signature, so any lock-state change invalidates
+        #: memoized passes without walking the tables.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Lock operations
@@ -41,6 +46,7 @@ class LockManager:
         holder = self._owner.get(obj)
         if holder is job:
             raise RuntimeError(f"{job.name}: re-acquiring held lock {obj!r}")
+        self.version += 1
         if holder is None:
             held = self._held.setdefault(job, [])
             if held and not self._allow_nesting:
@@ -65,6 +71,7 @@ class LockManager:
             raise RuntimeError(
                 f"{job.name}: releasing lock {obj!r} it does not hold"
             )
+        self.version += 1
         del self._owner[obj]
         self._held[job].remove(obj)
         woken = self._waiters.pop(obj, [])
@@ -74,6 +81,7 @@ class LockManager:
         """Roll back every lock ``job`` holds (abort path, Section 3.5).
         Returns all waiters to wake.  Also drops the job from any wait
         queues it sits in."""
+        self.version += 1
         woken: list[Job] = []
         for obj in list(self._held.get(job, [])):
             woken.extend(self.release(job, obj))
@@ -85,6 +93,7 @@ class LockManager:
 
     def cancel_wait(self, job: Job) -> None:
         """Remove ``job`` from every wait queue (e.g. on abort)."""
+        self.version += 1
         for waiters in self._waiters.values():
             if job in waiters:
                 waiters.remove(job)

@@ -8,11 +8,17 @@ sequence, and either completing before its critical time (accruing
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.tasks.segments import Compute, ObjectAccess, Segment
 from repro.tasks.task import TaskSpec
+
+#: Process-wide monotonic job serial numbers.  Scheduling-pass caches key
+#: job state by serial rather than ``id()`` — ids are recycled by the
+#: allocator once a completed job is garbage collected, serials never are.
+_SERIALS = itertools.count(1)
 
 
 class JobState(Enum):
@@ -23,7 +29,7 @@ class JobState(Enum):
     ABORTED = "aborted"
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     """One invocation ``J_{i,j}`` of task ``T_i``.
 
@@ -57,6 +63,10 @@ class Job:
     # Monotonic token invalidating stale milestone events after preemption.
     dispatch_token: int = field(default=0, repr=False)
 
+    #: Process-unique identity for scheduling-state signatures (see
+    #: ``_SERIALS``); never reused, unlike ``id()``.
+    serial: int = field(default_factory=lambda: next(_SERIALS), repr=False)
+
     @property
     def name(self) -> str:
         return f"{self.task.name}#{self.jid}"
@@ -86,16 +96,15 @@ class Job:
         """Remaining nominal execution demand, as presented to the
         scheduler (intrinsic durations; mechanism costs are runtime
         phenomena the scheduler cannot predict)."""
-        segment = self.current_segment
-        if segment is None:
+        body = self.task.body
+        index = self.segment_index
+        if index >= len(body):
             return 0
         # Clamped at zero: with an injected overrun the progress can
         # legitimately exceed the declared duration — the scheduler still
         # sees the *declared* demand, which is the point of the fault.
-        remaining = max(0, segment.duration - self.segment_progress)
-        for later in self.task.body[self.segment_index + 1:]:
-            remaining += later.duration
-        return remaining
+        tail = self.task.body_suffix[index]
+        return max(tail - self.segment_progress, tail - body[index].duration)
 
     def advance(self, amount: int) -> None:
         """Credit ``amount`` ticks of execution to the current segment.

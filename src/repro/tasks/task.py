@@ -35,6 +35,11 @@ class TaskSpec:
     compute_time: int = field(init=False)
     access_count: int = field(init=False)
     access_time: int = field(init=False)
+    #: ``body_suffix[i]`` = total declared duration of ``body[i:]``
+    #: (``body_suffix[len(body)] == 0``).  Lets the scheduler hot path
+    #: compute a job's remaining demand in O(1) instead of walking the
+    #: segment tail on every PUD / feasibility evaluation.
+    body_suffix: tuple[int, ...] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -53,6 +58,10 @@ class TaskSpec:
         object.__setattr__(self, "compute_time", seg.compute_time(self.body))
         object.__setattr__(self, "access_count", seg.access_count(self.body))
         object.__setattr__(self, "access_time", seg.access_time(self.body))
+        suffix = [0] * (len(self.body) + 1)
+        for i in range(len(self.body) - 1, -1, -1):
+            suffix[i] = suffix[i + 1] + self.body[i].duration
+        object.__setattr__(self, "body_suffix", tuple(suffix))
 
     @property
     def critical_time(self) -> int:

@@ -1,0 +1,70 @@
+"""Regression: ``SimulationResult.unfinished`` counts jobs live at the
+horizon.
+
+The count used to be derived from the kernel's last scheduling pass's
+view of the live set, which could be stale by the time the horizon hit
+(jobs that arrived after the final pass were missed).  It is now the
+incrementally-maintained live set itself, measured at shutdown.
+"""
+
+from repro.api import Scenario, simulate
+from repro.arrivals import UAMSpec
+from repro.tasks import Compute, TaskSpec
+from repro.tuf import StepTUF
+
+
+def _task(name: str, compute: int, critical: int) -> TaskSpec:
+    return TaskSpec(
+        name=name,
+        arrival=UAMSpec(1, 1, critical),
+        tuf=StepTUF(critical_time=critical),
+        body=(Compute(compute),),
+    )
+
+
+def _run(tasks, traces, horizon):
+    scenario = Scenario(sync="ideal", horizon=horizon, tasks=tuple(tasks),
+                        arrival_traces=tuple(tuple(t) for t in traces))
+    return simulate(scenario).result
+
+
+def test_single_overrunning_job_counts_as_unfinished():
+    # Critical time beyond the horizon: the job is neither completed nor
+    # aborted when the simulation stops.
+    tasks = [_task("A", compute=10_000, critical=50_000)]
+    result = _run(tasks, [[0]], horizon=1_000)
+    assert result.unfinished == 1
+    assert result.records == []
+
+
+def test_mixed_finished_and_unfinished():
+    tasks = [
+        _task("A", compute=100, critical=50_000),    # completes early
+        _task("B", compute=40_000, critical=90_000),  # still running
+        _task("C", compute=40_000, critical=90_000),  # never dispatched
+    ]
+    result = _run(tasks, [[0], [0], [0]], horizon=5_000)
+    assert result.unfinished == 2
+    assert len(result.records) == 1
+    assert result.records[0].task_name == "A"
+
+
+def test_late_arrival_after_last_pass_is_counted():
+    # The regression case: "B" arrives between the last scheduling pass
+    # (triggered by A's completion at t=100) and the horizon; a stale
+    # live-set snapshot from that pass would miss it.
+    tasks = [
+        _task("A", compute=100, critical=50_000),
+        _task("B", compute=40_000, critical=200_000),
+    ]
+    result = _run(tasks, [[0], [4_000]], horizon=5_000)
+    assert result.unfinished == 1
+    assert len(result.records) == 1
+
+
+def test_everything_finished_means_zero():
+    tasks = [_task("A", compute=100, critical=50_000),
+             _task("B", compute=100, critical=50_000)]
+    result = _run(tasks, [[0], [0]], horizon=100_000)
+    assert result.unfinished == 0
+    assert len(result.records) == 2

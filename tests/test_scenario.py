@@ -1,0 +1,161 @@
+"""The unified Scenario API: validation, serialization round-trip, the
+legacy-wrapper equivalences and the deprecated-kwarg shims."""
+
+import json
+import random
+
+import pytest
+
+from repro import Scenario, quick_scenario, quick_simulation, simulate
+from repro.experiments.runner import run_once
+from repro.experiments.workloads import BuilderSpec, paper_taskset
+from repro.faults.plan import FaultPlan
+from repro.obs import Observer
+from repro.sim.objects import RetryPolicy
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+def test_exactly_one_task_source_required():
+    with pytest.raises(ValueError):
+        Scenario()                                   # neither
+    tasks = tuple(paper_taskset(random.Random(0), n_tasks=2))
+    workload = BuilderSpec.make("paper", n_tasks=2)
+    with pytest.raises(ValueError):
+        Scenario(workload=workload, tasks=tasks)     # both
+
+
+def test_invalid_fields_rejected():
+    workload = BuilderSpec.make("paper", n_tasks=2)
+    with pytest.raises(ValueError):
+        Scenario(workload=workload, sync="spinlock")
+    with pytest.raises(ValueError):
+        Scenario(workload=workload, seeding="alternating")
+    with pytest.raises(ValueError):
+        Scenario(workload=workload, policy="rate-monotonic")
+    with pytest.raises(ValueError):
+        Scenario(workload=workload, horizon=0)
+
+
+def test_arrival_traces_require_matching_tasks():
+    tasks = tuple(paper_taskset(random.Random(0), n_tasks=2))
+    workload = BuilderSpec.make("paper", n_tasks=2)
+    with pytest.raises(ValueError):
+        Scenario(workload=workload, arrival_traces=((0,), (0,)))
+    with pytest.raises(ValueError):
+        Scenario(tasks=tasks, arrival_traces=((0,),))   # length mismatch
+    scenario = Scenario(tasks=tasks, arrival_traces=[[0, 10], [5]])
+    assert scenario.arrival_traces == ((0, 10), (5,))   # normalized
+
+
+def test_lists_normalized_and_strings_coerced():
+    tasks = paper_taskset(random.Random(0), n_tasks=2)
+    scenario = Scenario(tasks=tasks, retry_policy="on_preemption")
+    assert isinstance(scenario.tasks, tuple)
+    assert scenario.retry_policy is RetryPolicy.ON_PREEMPTION
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+def test_to_dict_from_dict_round_trip_through_json():
+    scenario = quick_scenario(n_tasks=4, n_objects=3, sync="lockbased",
+                              load=1.1, horizon_us=20_000, seed=7,
+                              tuf_class="hetero")
+    wire = json.loads(json.dumps(scenario.to_dict()))
+    assert Scenario.from_dict(wire) == scenario
+
+
+def test_to_dict_rejects_runtime_objects():
+    tasks = tuple(paper_taskset(random.Random(0), n_tasks=2))
+    with pytest.raises(ValueError):
+        Scenario(tasks=tasks).to_dict()
+    workload = BuilderSpec.make("paper", n_tasks=2)
+    with pytest.raises(ValueError):
+        Scenario(workload=workload, faults=FaultPlan(seed=1)).to_dict()
+
+
+def test_from_dict_rejects_unknown_keys():
+    wire = quick_scenario().to_dict()
+    wire["typo_field"] = 1
+    with pytest.raises(ValueError):
+        Scenario.from_dict(wire)
+
+
+# ----------------------------------------------------------------------
+# Wrapper equivalences
+# ----------------------------------------------------------------------
+
+def test_quick_simulation_equals_quick_scenario_run():
+    direct = simulate(quick_scenario(n_tasks=4, horizon_us=20_000, seed=3))
+    wrapped = quick_simulation(n_tasks=4, horizon_us=20_000, seed=3)
+    assert wrapped.result.records == direct.result.records
+    assert wrapped.aur == direct.aur and wrapped.cmr == direct.cmr
+
+
+def test_legacy_simulate_signature_warns_and_matches():
+    tasks = paper_taskset(random.Random(0), n_tasks=3, n_objects=2)
+    with pytest.warns(DeprecationWarning):
+        legacy = simulate(tasks, "lockfree", 20_000_000, 5)
+    scenario = Scenario(sync="lockfree", horizon=20_000_000, seed=5,
+                        tasks=tuple(tasks), seeding="shared")
+    canonical = simulate(scenario)
+    assert legacy.result.records == canonical.result.records
+    assert legacy.result.scheduler_invocations == \
+        canonical.result.scheduler_invocations
+
+
+def test_scenario_call_rejects_extra_legacy_arguments():
+    scenario = quick_scenario()
+    with pytest.raises(TypeError):
+        simulate(scenario, sync="lockfree")
+    with pytest.raises(TypeError):
+        simulate(scenario, monitors=True)
+
+
+def test_run_once_is_deterministic_in_its_rng():
+    tasks = paper_taskset(random.Random(0), n_tasks=3, n_objects=2)
+    first = run_once(tasks, "lockbased", 20_000_000, random.Random(9))
+    second = run_once(tasks, "lockbased", 20_000_000, random.Random(9))
+    assert first.records == second.records
+    assert first.scheduler_overhead_time == second.scheduler_overhead_time
+
+
+# ----------------------------------------------------------------------
+# Deprecated-kwarg shims
+# ----------------------------------------------------------------------
+
+def test_fault_plan_alias_warns_everywhere():
+    tasks = paper_taskset(random.Random(0), n_tasks=2, n_objects=2)
+    plan = FaultPlan(seed=3)
+    with pytest.warns(DeprecationWarning, match="fault_plan"):
+        run_once(tasks, "lockfree", 5_000_000, random.Random(1),
+                 fault_plan=plan)
+    with pytest.warns(DeprecationWarning):
+        simulate(tasks, "lockfree", 5_000_000, 1, fault_plan=plan)
+    with pytest.raises(TypeError):
+        run_once(tasks, "lockfree", 5_000_000, random.Random(1),
+                 faults=plan, fault_plan=plan)
+
+
+def test_obs_alias_warns_and_still_attaches():
+    observer = Observer()
+    with pytest.warns(DeprecationWarning, match="obs"):
+        summary = quick_simulation(n_tasks=3, horizon_us=10_000, seed=2,
+                                   obs=observer)
+    assert summary.result.obs is not None
+    with pytest.raises(TypeError):
+        quick_simulation(n_tasks=3, horizon_us=10_000, seed=2,
+                         observer=Observer(), obs=Observer())
+
+
+def test_canonical_kwargs_do_not_warn(recwarn):
+    tasks = paper_taskset(random.Random(0), n_tasks=2, n_objects=2)
+    run_once(tasks, "lockfree", 5_000_000, random.Random(1),
+             faults=FaultPlan(seed=3), observer=Observer())
+    deprecations = [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+    assert deprecations == []
