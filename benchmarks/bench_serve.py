@@ -1,0 +1,77 @@
+"""Sustained-throughput benchmark for the serve layer (DESIGN.md §13).
+
+Self-hosts a ``ServeApp`` and drives it with the seeded load generator
+at a fixed arrival rate: deterministic arrivals, a small scenario pool
+(so the content-addressed cache carries most of the steady state), no
+chaos.  Records the service's latency/throughput trajectory for the
+perf-regression gate:
+
+* ``p50_time`` / ``p99_time`` — request latency percentiles (seconds;
+  ``_time`` suffix: higher is worse);
+* ``throughput`` — achieved 200s per second (lower is worse);
+* ``cold_p99_time`` — p99 of the cache-cold warmup pass.
+
+Gate: ``PYTHONPATH=src python -m repro bench check``.
+"""
+
+import tempfile
+
+from repro.serve import LoadConfig, ServeApp, ServeConfig, run_load
+
+from conftest import record_bench, run_once_benchmark
+
+RATE = 120.0
+DURATION_S = 2.0
+SCENARIOS = 6
+
+
+def _load(url, seed, duration_s=DURATION_S):
+    return run_load(LoadConfig(
+        url=url,
+        consumers=4,
+        rate=RATE,
+        duration_s=duration_s,
+        seed=seed,
+        n_scenarios=SCENARIOS,
+        n_tasks=5,
+        horizon_us=10_000,
+        deadline_s=30.0,
+    ))
+
+
+def test_serve_sustained_throughput(benchmark):
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    app = ServeApp(ServeConfig(
+        workers=2,
+        queue_capacity=64,
+        trial_timeout=20.0,
+        default_deadline_s=30.0,
+        cache_dir=cache_dir,
+        drain_grace_s=5.0,
+    )).start()
+    try:
+        # Cache-cold warmup pass: every distinct scenario computes once.
+        cold = _load(app.url, seed=1, duration_s=0.5)
+        report = run_once_benchmark(benchmark,
+                                    lambda: _load(app.url, seed=1))
+    finally:
+        app.shutdown(grace_s=5.0, reason="bench over")
+
+    outcomes = report["outcomes"]
+    assert outcomes["failed"] == 0, report
+    assert outcomes["transport_error"] == 0, report
+    assert outcomes["ok"] > 0
+    assert report["cache_hits"] > 0         # steady state is cache-backed
+
+    latency = report["latency_s"]
+    print(f"\nserve: {outcomes['ok']} ok / {report['requests_sent']} sent, "
+          f"p50={latency['p50'] * 1000:.2f}ms "
+          f"p99={latency['p99'] * 1000:.2f}ms "
+          f"throughput={report['throughput_rps']:.1f} rps "
+          f"hit_rate={report['cache_hit_rate']:.2f}")
+    record_bench(benchmark, "serve", {
+        "p50_time": round(latency["p50"], 6),
+        "p99_time": round(latency["p99"], 6),
+        "cold_p99_time": round(cold["latency_s"]["p99"], 6),
+        "throughput": round(report["throughput_rps"], 3),
+    })

@@ -85,12 +85,17 @@ class CampaignJournal:
         ``tag``; appending to a journal from a different campaign is an
         error, not a silent corruption."""
         target = Path(path)
+        reheader = False
         if target.exists() and target.stat().st_size > 0:
             snapshot = load_journal(target)
-            if snapshot.tag != tag:
+            if snapshot.tag and snapshot.tag != tag:
                 raise JournalError(
                     f"journal {target} belongs to campaign "
                     f"{snapshot.tag!r}, not {tag!r}")
+            # A headerless journal (the tag line itself was lost to a
+            # torn write) is re-pinned: append a fresh header so later
+            # resumes get their tag check back.
+            reheader = not snapshot.tag
         else:
             header = json.dumps({"type": "header", "version": _VERSION,
                                  "tag": tag}, sort_keys=True)
@@ -106,6 +111,11 @@ class CampaignJournal:
                 if check.read(1) != b"\n":
                     handle.write("\n")
                     handle.flush()
+        if reheader:
+            handle.write(json.dumps({"type": "header", "version": _VERSION,
+                                     "tag": tag}, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         return cls(target, handle)
 
     def close(self) -> None:
@@ -145,10 +155,15 @@ class CampaignJournal:
 # ----------------------------------------------------------------------
 
 def load_journal(path: str | os.PathLike) -> JournalSnapshot:
-    """Parse a journal, tolerating a torn trailing line.
+    """Parse a journal, tolerating torn lines.
 
-    Raises :class:`JournalError` when the file does not start with a
-    valid header (that is corruption, not interruption).
+    A torn trailing record — the signature of a mid-write kill — is
+    counted and skipped.  A journal whose *header* line is also gone
+    (killed during creation, before any record decoded) loads as an
+    empty snapshot with ``tag == ""`` so ``--resume`` starts cleanly
+    instead of raising.  Decodable trial records with no header are
+    corruption, not interruption, and still raise
+    :class:`JournalError` (the tag cannot be trusted).
     """
     target = Path(path)
     snapshot = JournalSnapshot()
@@ -159,23 +174,24 @@ def load_journal(path: str | os.PathLike) -> JournalSnapshot:
         raise JournalError(f"journal {target} does not exist") from exc
     if not lines:
         raise JournalError(f"journal {target} is empty")
-    try:
-        header = json.loads(lines[0])
-        if header.get("type") != "header":
-            raise ValueError("first line is not a header")
-    except (json.JSONDecodeError, ValueError) as exc:
-        raise JournalError(f"journal {target} has no valid header") from exc
-    if header.get("version") != _VERSION:
-        raise JournalError(
-            f"journal {target} has unsupported version "
-            f"{header.get('version')!r}")
-    snapshot.tag = header.get("tag", "")
-    for position, line in enumerate(lines[1:], start=2):
+    have_header = False
+    for line in lines:
         if not line.strip():
             continue
         try:
             entry = json.loads(line)
-            if entry.get("type") != "trial":
+            kind = entry.get("type")
+            if kind == "header":
+                if have_header:
+                    continue          # only the first header pins the tag
+                if entry.get("version") != _VERSION:
+                    raise JournalError(
+                        f"journal {target} has unsupported version "
+                        f"{entry.get('version')!r}")
+                snapshot.tag = entry.get("tag", "")
+                have_header = True
+                continue
+            if kind != "trial":
                 continue
             index = int(entry["index"])
             if entry.get("ok"):
@@ -185,10 +201,17 @@ def load_journal(path: str | os.PathLike) -> JournalSnapshot:
                 snapshot.failed[index] = [
                     TrialFailure(**f) for f in entry.get("failures", [])
                 ]
+        except JournalError:
+            raise
         except (json.JSONDecodeError, KeyError, ValueError, TypeError,
                 pickle.UnpicklingError, EOFError):
-            # A torn line is only legitimate at the tail (mid-write
-            # kill); anything decodable after it would also have been
-            # written after it, so just count and move on.
+            # A torn line is only legitimate where a mid-write kill cut
+            # it (typically the tail — or the header itself, when the
+            # kill landed during journal creation); just count it and
+            # move on.
             snapshot.torn_lines += 1
+    if not have_header and (snapshot.values or snapshot.failed):
+        # Decodable trial records but no header: that is corruption (or
+        # a foreign file), not a torn write — refuse to guess the tag.
+        raise JournalError(f"journal {target} has no valid header")
     return snapshot

@@ -19,7 +19,16 @@ Commands:
   regression), ``report`` prints the trajectories;
 * ``diff`` — trace-diff diagnosis: align two exported traces (JSONL or
   Chrome JSON), report the first divergent scheduling decision and the
-  per-task deltas in retries, aborts, blocking time and utility.
+  per-task deltas in retries, aborts, blocking time and utility;
+* ``serve`` — simulation-as-a-service: an HTTP front end
+  (``POST /simulate``) with bounded admission + UAM-style shedding, a
+  circuit breaker over crash-isolated workers, a content-addressed
+  result cache and graceful SIGTERM drain (DESIGN.md §13);
+* ``load`` — seeded, reproducible load generator against a running
+  ``serve`` instance (or ``--self-host`` to spin one up in-process),
+  reporting latency percentiles, throughput, shed counts and cache hit
+  rate; ``--verify`` byte-compares every served result against a clean
+  local run.
 
 Every command's ``--json`` payload carries an ``obs`` block: the
 observability summary of the run (``{"enabled": false}`` when nothing
@@ -54,6 +63,13 @@ from repro.campaign import (
 from repro.experiments import figures
 from repro.experiments.faults import cml_under_faults
 from repro.obs import Observer
+from repro.serve import (
+    LoadConfig,
+    ServeApp,
+    ServeConfig,
+    install_drain_signal,
+    run_load,
+)
 from repro.units import MS
 
 FIGURES = {
@@ -324,6 +340,87 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="also write the diagnosis to a file")
     diff.add_argument("--json", default=None, metavar="PATH",
                       help="write a machine-readable summary")
+
+    serve = sub.add_parser(
+        "serve",
+        help="simulation-as-a-service HTTP front end: POST /simulate, "
+             "GET /metrics, /healthz, /stats (see DESIGN.md §13)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 = ephemeral, printed at start)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="crash-isolated simulation worker processes")
+    serve.add_argument("--queue-capacity", type=int, default=64,
+                       help="hard admission-queue bound")
+    serve.add_argument("--watermark", type=int, default=None,
+                       help="queue depth where shedding starts "
+                            "(default: capacity)")
+    serve.add_argument("--trial-timeout", type=float, default=30.0,
+                       help="per-trial wall-clock budget (seconds)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="attempts per trial incl. retries")
+    serve.add_argument("--deadline", type=float, default=60.0,
+                       help="default per-request deadline (seconds)")
+    serve.add_argument("--retry-seed", type=int, default=0)
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive pool failures that trip the "
+                            "circuit breaker")
+    serve.add_argument("--breaker-reset", type=float, default=2.0,
+                       help="seconds before the open breaker half-opens")
+    serve.add_argument("--cache-dir", default=".repro-serve-cache",
+                       help="content-addressed result cache directory")
+    serve.add_argument("--drain-grace", type=float, default=10.0,
+                       help="seconds to finish in-flight work on drain")
+    serve.add_argument("--drain-journal", default=None, metavar="PATH",
+                       help="journal unfinished scenarios here on drain")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for N seconds then drain "
+                            "(default: until SIGTERM/SIGINT)")
+    _add_chaos_args(serve)
+    serve.add_argument("--json", default=None, metavar="PATH",
+                       help="write config echo + final stats")
+
+    load = sub.add_parser(
+        "load",
+        help="seeded load generator against a serve instance "
+             "(deterministic arrivals; reports latency/throughput/sheds)")
+    load.add_argument("--url", default=None,
+                      help="base URL of a running `repro serve`")
+    load.add_argument("--self-host", action="store_true",
+                      help="start an in-process server for this run")
+    load.add_argument("--consumers", type=int, default=4)
+    load.add_argument("--rate", type=float, default=50.0,
+                      help="aggregate arrivals per second")
+    load.add_argument("--duration", type=float, default=5.0,
+                      help="schedule length (seconds)")
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--scenarios", type=int, default=8,
+                      help="distinct scenarios cycled (cache reuse)")
+    load.add_argument("--tasks", type=int, default=6)
+    load.add_argument("--horizon-ms", type=float, default=20.0)
+    load.add_argument("--load", type=float, default=0.6)
+    load.add_argument("--sync", default="lockfree",
+                      choices=["ideal", "edf", "lockfree", "lockbased"])
+    load.add_argument("--deadline", type=float, default=30.0,
+                      help="per-request deadline sent to the server")
+    load.add_argument("--priority-levels", type=int, default=3)
+    load.add_argument("--verify", action="store_true",
+                      help="byte-compare every served result against a "
+                           "clean local simulate() (exit 1 on mismatch)")
+    load.add_argument("--workers", type=int, default=2,
+                      help="[self-host] worker processes")
+    load.add_argument("--trial-timeout", type=float, default=30.0,
+                      help="[self-host] per-trial budget")
+    load.add_argument("--breaker-threshold", type=int, default=3,
+                      help="[self-host] breaker trip threshold")
+    load.add_argument("--breaker-reset", type=float, default=2.0,
+                      help="[self-host] breaker half-open timer")
+    load.add_argument("--cache-dir", default=None,
+                      help="[self-host] cache directory "
+                           "(default: a fresh temp dir)")
+    _add_chaos_args(load)
+    load.add_argument("--json", default=None, metavar="PATH",
+                      help="write the load report")
 
     sojourn = sub.add_parser("sojourn",
                              help="Theorem 3 sojourn comparison")
@@ -602,6 +699,188 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
+    chaos = parser.add_argument_group(
+        "chaos", "fault injection into the worker pool (by pool "
+                 "submission index)")
+    chaos.add_argument("--chaos-crash", default="", metavar="I,J,...",
+                       help="kill the worker process on these submissions")
+    chaos.add_argument("--chaos-hang", default="", metavar="I,J,...",
+                       help="hang the trial on these submissions")
+    chaos.add_argument("--chaos-transient", default="", metavar="I,J,...",
+                       help="raise a transient error on these submissions")
+    chaos.add_argument("--chaos-hang-seconds", type=float, default=60.0)
+
+
+def _parse_indices(text: str, flag: str) -> tuple[int, ...]:
+    if not text.strip():
+        return ()
+    try:
+        return tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise UsageError(f"{flag} expects comma-separated integers: {exc}")
+
+
+def _chaos_from_args(args) -> "ChaosPlan | None":
+    crash = _parse_indices(args.chaos_crash, "--chaos-crash")
+    hang = _parse_indices(args.chaos_hang, "--chaos-hang")
+    transient = _parse_indices(args.chaos_transient, "--chaos-transient")
+    if not (crash or hang or transient):
+        return None
+    return ChaosPlan(crash=crash, hang=hang, transient=transient,
+                     hang_seconds=args.chaos_hang_seconds)
+
+
+def _serve_config_from_args(args, *, cache_dir: str,
+                            drain_journal: str | None = None,
+                            host: str = "127.0.0.1", port: int = 0,
+                            queue_capacity: int = 64,
+                            watermark: int | None = None,
+                            deadline: float = 60.0,
+                            drain_grace: float = 10.0,
+                            retry_seed: int = 0) -> ServeConfig:
+    try:
+        return ServeConfig(
+            host=host, port=port,
+            workers=args.workers,
+            queue_capacity=queue_capacity,
+            queue_watermark=watermark,
+            trial_timeout=args.trial_timeout,
+            max_attempts=getattr(args, "max_attempts", 3),
+            retry_seed=retry_seed,
+            default_deadline_s=deadline,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset_s=args.breaker_reset,
+            cache_dir=cache_dir,
+            drain_grace_s=drain_grace,
+            drain_journal=drain_journal,
+            chaos=_chaos_from_args(args),
+        )
+    except ValueError as exc:
+        raise UsageError(str(exc))
+
+
+def _cmd_serve(args) -> int:
+    config = _serve_config_from_args(
+        args, cache_dir=args.cache_dir, drain_journal=args.drain_journal,
+        host=args.host, port=args.port,
+        queue_capacity=args.queue_capacity, watermark=args.watermark,
+        deadline=args.deadline, drain_grace=args.drain_grace,
+        retry_seed=args.retry_seed)
+    app = ServeApp(config)
+    app.start()
+    print(f"serving on {app.url}  "
+          f"(workers={config.workers}, queue={config.queue_capacity}, "
+          f"cache={config.cache_dir})")
+    print("endpoints: POST /simulate  GET /metrics /healthz /stats "
+          "/result/<digest>")
+    try:
+        # SIGTERM/SIGINT start the drain; only valid from the main
+        # thread (tests drive main() from worker threads).
+        previous = install_drain_signal(app.drain.begin)
+    except ValueError:   # pragma: no cover - non-main thread
+        previous = None
+    try:
+        if args.duration is not None:
+            app.drain.wait(timeout=args.duration)
+            app.drain.begin("duration elapsed")
+        else:   # pragma: no cover - interactive mode
+            while not app.drain.wait(timeout=3600.0):
+                pass
+        report = app.shutdown(grace_s=args.drain_grace,
+                              reason=app.drain.reason or "drain")
+    finally:
+        if previous is not None:
+            import signal as _signal
+            for signum, handler in previous.items():
+                _signal.signal(signum, handler)
+    stats = app.stats()
+    print(f"drained ({report['reason']}): "
+          f"{stats['pool']['executions']} trials served, "
+          f"{stats['cache']['hits']} cache hits, "
+          f"{stats['queue']['shed']} shed, "
+          f"{report['unfinished_journaled']} journaled")
+    _write_json(args, {
+        "command": "serve",
+        "url": app.url or f"http://{config.host}:{config.port}",
+        "config": config.to_dict(),
+        "drain": report,
+        "stats": stats,
+    }, obs=app.observer.summary())
+    return 0
+
+
+def _cmd_load(args) -> int:
+    if not args.url and not args.self_host:
+        raise UsageError("load needs --url URL or --self-host")
+    try:
+        # Validate the load parameters before any server spins up (the
+        # real URL is only known after a self-hosted bind).
+        probe_config = LoadConfig(
+            url=args.url or "http://127.0.0.1:0",
+            consumers=args.consumers,
+            rate=args.rate,
+            duration_s=args.duration,
+            seed=args.seed,
+            n_scenarios=args.scenarios,
+            n_tasks=args.tasks,
+            horizon_us=int(args.horizon_ms * 1000),
+            load=args.load,
+            sync=args.sync,
+            deadline_s=args.deadline,
+            priority_levels=args.priority_levels,
+            verify=args.verify,
+        )
+    except ValueError as exc:
+        raise UsageError(str(exc))
+    app = None
+    if args.self_host:
+        import tempfile
+        cache_dir = args.cache_dir or tempfile.mkdtemp(
+            prefix="repro-serve-cache-")
+        config = _serve_config_from_args(args, cache_dir=cache_dir,
+                                         deadline=max(args.deadline, 1.0),
+                                         drain_grace=5.0)
+        app = ServeApp(config)
+        app.start()
+        url = app.url
+        print(f"self-hosted server on {url} "
+              f"(workers={config.workers}, cache={cache_dir})")
+    else:
+        url = args.url
+    try:
+        import dataclasses
+        report = run_load(dataclasses.replace(probe_config, url=url))
+    finally:
+        if app is not None:
+            app.shutdown(grace_s=5.0, reason="load run finished")
+    report.setdefault("verification", {"verified": 0, "mismatches": []})
+    report["self_host"] = bool(args.self_host)
+
+    outcomes = report["outcomes"]
+    latency = report["latency_s"]
+    print(f"{report['requests_sent']} requests @ {args.rate:g}/s x "
+          f"{args.duration:g}s, {args.consumers} consumers "
+          f"(seed {args.seed})")
+    print(f"  ok={outcomes['ok']} shed={outcomes['shed']} "
+          f"unavailable={outcomes['unavailable']} "
+          f"failed={outcomes['failed']} deadline={outcomes['deadline']} "
+          f"transport={outcomes['transport_error']}")
+    print(f"  latency p50={latency['p50'] * 1000:.1f}ms "
+          f"p99={latency['p99'] * 1000:.1f}ms "
+          f"throughput={report['throughput_rps']:.1f} rps "
+          f"cache_hits={report['cache_hits']}")
+    mismatches = report["verification"]["mismatches"]
+    if args.verify:
+        print(f"  verified {report['verification']['verified']} unique "
+              f"payloads against local simulate(): "
+              f"{'OK' if not mismatches else 'MISMATCH'}")
+    for mismatch in mismatches:
+        print(f"  MISMATCH: {mismatch}", file=sys.stderr)
+    _write_json(args, {"command": "load", **report})
+    return 1 if mismatches else 0
+
+
 def _cmd_sojourn(args) -> int:
     n = 2 * args.a + args.x   # worst-case n_i
     comparison = compare_sojourn(
@@ -644,6 +923,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_bench(args)
         if args.command == "diff":
             return _cmd_diff(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "load":
+            return _cmd_load(args)
         if args.command == "sojourn":
             return _cmd_sojourn(args)
     except UsageError as exc:

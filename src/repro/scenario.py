@@ -32,6 +32,8 @@ legacy helpers:
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Any, Mapping
@@ -182,6 +184,28 @@ class Scenario:
                 "timer_overhead": self.costs.timer_overhead,
             },
         }
+
+    def canonical_json(self) -> str:
+        """The canonical wire encoding of this scenario: :meth:`to_dict`
+        serialized with sorted keys and no whitespace.  Two scenarios
+        are equal iff their canonical encodings are equal, regardless of
+        the key order any transport delivered them in."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Stable SHA-256 hex digest of the canonical encoding.
+
+        The digest is a pure function of the scenario's declarative
+        content — identical across process restarts, dict orderings and
+        machines — so it can key a content-addressed result store: any
+        field change yields a different digest, and equal digests imply
+        byte-identical ``simulate(scenario)`` results at a fixed code
+        version.  Like :meth:`to_dict`, it is only defined for
+        declarative (``workload=``-sourced) scenarios.
+        """
+        return hashlib.sha256(
+            self.canonical_json().encode("utf-8")).hexdigest()
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":

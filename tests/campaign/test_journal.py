@@ -74,6 +74,38 @@ class TestCorruptionHandling:
         assert snapshot.values == {0: "a"}
         assert snapshot.torn_lines == 1
 
+    def test_torn_tail_with_missing_tag_line_resumes_cleanly(
+            self, tmp_path):
+        """A kill during journal *creation* can leave a file whose tag
+        (header) line never landed and whose only record is torn.  That
+        must resume as an empty journal, not raise."""
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"type": "trial", "index": 0, "ok": true, "pa')
+        snapshot = load_journal(path)
+        assert snapshot.tag == ""
+        assert snapshot.values == {} and snapshot.failed == {}
+        assert snapshot.torn_lines == 1
+
+        # The engine resumes from it cleanly and recomputes everything;
+        # reopening for append re-pins the tag for later resumes.
+        engine = CampaignEngine(
+            CampaignConfig(journal=str(path), resume=str(path)), tag="t")
+        result = engine.map(trial_counted, [("k1", 3), ("k2", 5)])
+        engine.close()
+        assert CALLS == {"k1": 1, "k2": 1}
+        assert not any(o.from_journal for o in result.outcomes)
+        healed = load_journal(path)
+        assert healed.tag == "t"
+        assert healed.completed == 2
+        # A second resume replays everything from the healed journal.
+        CALLS.clear()
+        resumed = CampaignEngine(
+            CampaignConfig(resume=str(path)), tag="t")
+        replay = resumed.map(trial_counted, [("k1", 3), ("k2", 5)])
+        resumed.close()
+        assert CALLS == {}
+        assert replay.values == result.values
+
     def test_empty_journal_rejected(self, tmp_path):
         path = tmp_path / "c.jsonl"
         path.write_text("")

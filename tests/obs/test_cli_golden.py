@@ -27,6 +27,8 @@ DYNAMIC_KEY_PATHS = frozenset({
     ".obs.counters",
     ".obs.histograms",
     ".obs.scheduler.by_n",
+    ".stats.responses",            # serve: per-status-code counts
+    ".stats.pool.failure_kinds",   # serve: failure-kind counts
 })
 
 
@@ -101,6 +103,17 @@ COMMANDS = {
                           str(pathlib.Path(__file__).parent.parent
                               / "fixtures" / "trajectories" / "clean")],
     "diff": _diff_argv,
+    # Serve: start, idle 0.2s, drain — the config echo + stats schema.
+    "serve": lambda tmp: ["serve", "--duration", "0.2",
+                          "--drain-grace", "1",
+                          "--cache-dir", str(tmp / "serve-cache")],
+    # Load: short self-hosted run with verification on, so the report
+    # schema includes the verification block in its populated form.
+    "load": lambda tmp: ["load", "--self-host", "--rate", "20",
+                         "--duration", "0.5", "--consumers", "2",
+                         "--scenarios", "2", "--tasks", "4",
+                         "--horizon-ms", "10", "--verify", "--seed", "3",
+                         "--cache-dir", str(tmp / "load-cache")],
 }
 
 

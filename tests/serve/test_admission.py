@@ -1,0 +1,98 @@
+"""Admission queue: bounded depth, UAM density shedding, drain."""
+
+import threading
+
+from repro.serve.admission import AdmissionQueue, ServeRequest
+
+
+def request(digest="d" * 64, priority=1.0, cost=1.0, enqueued_at=0.0):
+    return ServeRequest({"k": 1}, digest, priority=priority, cost=cost,
+                        enqueued_at=enqueued_at)
+
+
+class TestAdmission:
+    def test_admits_below_watermark(self):
+        queue = AdmissionQueue(capacity=4, watermark=2)
+        assert queue.submit(request()).admitted
+        assert queue.submit(request()).admitted
+        assert queue.depth() == 2
+        assert queue.admitted_total == 2
+
+    def test_degraded_sheds_sparser_arrivals(self):
+        queue = AdmissionQueue(capacity=4, watermark=1)
+        assert queue.submit(request(priority=2.0, cost=1.0)).admitted
+        # At the watermark: a sparser (lower priority/cost) arrival sheds.
+        decision = queue.submit(request(priority=1.0, cost=1.0))
+        assert not decision.admitted
+        assert decision.reason == "queue_full"
+        assert queue.shed_total == 1
+        # A denser arrival still gets in (capacity not yet reached).
+        assert queue.submit(request(priority=8.0, cost=1.0)).admitted
+
+    def test_saturated_evicts_the_sparsest(self):
+        queue = AdmissionQueue(capacity=2, watermark=1)
+        sparse = request(priority=1.0, cost=10.0)
+        assert queue.submit(sparse).admitted
+        assert queue.submit(request(priority=4.0, cost=1.0)).admitted
+        decision = queue.submit(request(priority=8.0, cost=1.0))
+        assert decision.admitted
+        assert decision.shed is sparse          # caller must answer it 429
+        assert decision.reason == "evicted"
+        assert queue.depth() == 2               # hard bound held
+        assert queue.evicted_total == 1
+
+    def test_eviction_never_triggered_by_sparser_arrival(self):
+        queue = AdmissionQueue(capacity=1, watermark=1)
+        assert queue.submit(request(priority=5.0)).admitted
+        decision = queue.submit(request(priority=1.0))
+        assert not decision.admitted and decision.shed is None
+
+    def test_take_serves_densest_first(self):
+        queue = AdmissionQueue(capacity=8)
+        low = request(priority=1.0, cost=4.0)
+        high = request(priority=4.0, cost=1.0)
+        mid = request(priority=1.0, cost=1.0)
+        for req in (low, high, mid):
+            queue.submit(req)
+        assert queue.take(0.1) is high
+        assert queue.take(0.1) is mid
+        assert queue.take(0.1) is low
+        assert queue.take(0.01) is None         # empty -> timeout
+
+    def test_take_ties_break_by_arrival_order(self):
+        queue = AdmissionQueue(capacity=8)
+        first = request(enqueued_at=1.0)
+        second = request(enqueued_at=2.0)
+        queue.submit(first)
+        queue.submit(second)
+        assert queue.take(0.1) is first
+
+    def test_close_returns_leftovers_and_rejects_new_work(self):
+        queue = AdmissionQueue(capacity=8)
+        queued = [request() for _ in range(3)]
+        for req in queued:
+            queue.submit(req)
+        leftover = queue.close()
+        assert leftover == queued
+        assert queue.depth() == 0
+        decision = queue.submit(request())
+        assert not decision.admitted and decision.reason == "draining"
+        assert queue.take(0.01) is None         # consumers wake and exit
+
+    def test_close_wakes_blocked_consumer(self):
+        queue = AdmissionQueue(capacity=8)
+        out = []
+        thread = threading.Thread(
+            target=lambda: out.append(queue.take(timeout=None)))
+        thread.start()
+        queue.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert out == [None]
+
+    def test_request_finish_first_writer_wins(self):
+        req = request()
+        assert req.finish(200, {"a": 1})
+        assert not req.finish(429, {"b": 2})
+        assert req.status == 200 and req.body == {"a": 1}
+        assert req.wait(0.1)

@@ -1,0 +1,258 @@
+"""ServeApp end-to-end: request pipeline, HTTP surface, drain."""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import quick_scenario
+from repro.campaign.chaos import ChaosPlan
+from repro.serve import ServeApp, ServeConfig, load_drain_journal
+from repro.serve.breaker import CLOSED, OPEN
+
+
+def scenario_body(seed=1, n_tasks=3, horizon_us=5_000, **extra):
+    scenario = quick_scenario(n_tasks=n_tasks, horizon_us=horizon_us,
+                              seed=seed)
+    return json.dumps({"scenario": scenario.to_dict(), **extra}).encode()
+
+
+def make_config(tmp_path, **overrides):
+    overrides.setdefault("workers", 1)
+    overrides.setdefault("cache_dir", str(tmp_path / "cache"))
+    overrides.setdefault("trial_timeout", 20.0)
+    overrides.setdefault("drain_grace_s", 2.0)
+    return ServeConfig(**overrides)
+
+
+@pytest.fixture
+def app_factory(tmp_path):
+    apps = []
+
+    def make(start=True, **overrides):
+        app = ServeApp(make_config(tmp_path, **overrides))
+        apps.append(app)
+        if start:
+            app.start()
+        return app
+
+    yield make
+    for app in apps:
+        app.close()
+
+
+class TestSimulatePipeline:
+    def test_compute_then_cache_hit_byte_identical(self, app_factory):
+        app = app_factory()
+        status, first, _ = app.handle_simulate(scenario_body())
+        assert status == 200 and first["cached"] is False
+        status, second, _ = app.handle_simulate(scenario_body())
+        assert status == 200 and second["cached"] is True
+        assert first["result"] == second["result"]
+        assert first["digest"] == second["digest"]
+        assert app.cache.stats()["hits"] == 1
+
+    def test_corrupted_cache_entry_recomputes_same_bytes(self, app_factory):
+        app = app_factory()
+        _, first, _ = app.handle_simulate(scenario_body())
+        path = app.cache.path_for(first["digest"])
+        path.write_text(path.read_text()[:40])     # tear the entry
+        status, again, _ = app.handle_simulate(scenario_body())
+        assert status == 200 and again["cached"] is False
+        assert again["result"] == first["result"]  # recompute, not garbage
+        assert app.cache.stats()["corrupt"] == 1
+
+    def test_bad_requests_are_400(self, app_factory):
+        app = app_factory(start=False)
+        for body in (b"", b"not json", b"[1,2]",
+                     b'{"scenario": {"bogus": 1}}',
+                     b'{"scenario": 7}'):
+            status, payload, _ = app.handle_simulate(body)
+            assert status == 400, body
+            assert payload["error"] in ("bad_request", "bad_scenario")
+        status, payload, _ = app.handle_simulate(
+            scenario_body(deadline_s=-1))
+        assert status == 400
+        status, payload, _ = app.handle_simulate(
+            scenario_body(priority="high"))
+        assert status == 400
+
+    def test_queue_full_sheds_429_with_retry_after(self, app_factory):
+        # No dispatchers: the queue can only fill.
+        app = app_factory(start=False, queue_capacity=1, queue_watermark=1)
+        results = []
+        first = threading.Thread(target=lambda: results.append(
+            app.handle_simulate(scenario_body(seed=1, deadline_s=0.5))))
+        first.start()
+        deadline = time.monotonic() + 2.0
+        while app.queue.depth() == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        # Equal density at the watermark: shed immediately.
+        status, payload, headers = app.handle_simulate(
+            scenario_body(seed=2, deadline_s=5.0))
+        assert status == 429
+        assert payload["reason"] == "queue_full"
+        assert "Retry-After" in headers
+        first.join(timeout=5.0)
+        status_first, _, _ = results[0]
+        assert status_first == 504              # nobody served it
+
+    def test_denser_request_evicts_and_answers_the_sparse_one(
+            self, app_factory):
+        app = app_factory(start=False, queue_capacity=1, queue_watermark=1)
+        results = []
+        sparse = threading.Thread(target=lambda: results.append(
+            app.handle_simulate(
+                scenario_body(seed=1, priority=1.0, deadline_s=10.0))))
+        sparse.start()
+        deadline = time.monotonic() + 2.0
+        while app.queue.depth() == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        done = threading.Event()
+        dense_out = []
+
+        def dense():
+            dense_out.append(app.handle_simulate(
+                scenario_body(seed=2, priority=50.0, deadline_s=0.3)))
+            done.set()
+
+        threading.Thread(target=dense).start()
+        sparse.join(timeout=5.0)                # evicted -> answered now
+        status, payload, _ = results[0]
+        assert status == 429
+        assert payload["reason"] == "evicted"
+        done.wait(timeout=5.0)
+        assert dense_out[0][0] == 504           # admitted, never dispatched
+
+    def test_deadline_in_queue_is_504(self, app_factory):
+        app = app_factory(start=False)
+        started = time.monotonic()
+        status, payload, _ = app.handle_simulate(
+            scenario_body(deadline_s=0.2))
+        assert status == 504
+        assert payload["reason"] == "deadline"
+        assert 0.15 < time.monotonic() - started < 5.0
+
+
+class TestBreaker:
+    def test_trips_fast_fails_then_recovers(self, app_factory):
+        app = app_factory(
+            max_attempts=1,                      # crashes are terminal
+            breaker_threshold=2, breaker_reset_s=0.3,
+            chaos=ChaosPlan(crash=(0, 1)))
+        for seed in (10, 11):                    # two crashing trials
+            status, payload, _ = app.handle_simulate(
+                scenario_body(seed=seed, deadline_s=20.0))
+            assert status == 500
+            assert payload["kind"] == "crash"
+        assert app.breaker.state == OPEN
+        # Hard-open: fast 503 without touching queue or pool.
+        status, payload, headers = app.handle_simulate(
+            scenario_body(seed=12, deadline_s=20.0))
+        assert status == 503 and payload["reason"] == "breaker"
+        assert "Retry-After" in headers
+        time.sleep(0.35)                         # half-open timer
+        status, payload, _ = app.handle_simulate(
+            scenario_body(seed=13, deadline_s=20.0))
+        assert status == 200                     # probe succeeded
+        assert app.breaker.state == CLOSED
+        assert app.breaker.transitions >= 3
+
+
+class TestDrain:
+    def test_draining_rejects_new_work_and_journals_queued(
+            self, app_factory, tmp_path):
+        journal = tmp_path / "drain.jsonl"
+        app = app_factory(start=False, drain_journal=str(journal))
+        results = []
+        waiter = threading.Thread(target=lambda: results.append(
+            app.handle_simulate(scenario_body(seed=5, deadline_s=10.0))))
+        waiter.start()
+        deadline = time.monotonic() + 2.0
+        while app.queue.depth() == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        report = app.shutdown(grace_s=0.0, reason="SIGTERM")
+        waiter.join(timeout=5.0)
+        status, payload, _ = results[0]
+        assert status == 503 and payload["error"] == "draining"
+        assert report["unfinished_journaled"] == 1
+        entries = load_drain_journal(journal)
+        assert len(entries) == 1
+        assert entries[0]["digest"] == payload["digest"]
+        # Draining app refuses fresh work.
+        status, payload, headers = app.handle_simulate(scenario_body())
+        assert status == 503 and "Retry-After" in headers
+
+    def test_grace_lets_inflight_work_finish(self, app_factory):
+        app = app_factory()
+        status, payload, _ = app.handle_simulate(scenario_body(seed=6))
+        assert status == 200
+        report = app.shutdown(grace_s=2.0)
+        assert report["unfinished_journaled"] == 0
+        assert app.stats()["draining"] is True
+
+
+class TestHTTP:
+    def post(self, app, path, body):
+        connection = http.client.HTTPConnection("127.0.0.1", app.port,
+                                                timeout=30)
+        try:
+            connection.request("POST", path, body=body,
+                               headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    def get(self, app, path):
+        connection = http.client.HTTPConnection("127.0.0.1", app.port,
+                                                timeout=30)
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def test_full_http_surface(self, app_factory):
+        app = app_factory()
+        status, payload = self.post(app, "/simulate", scenario_body(seed=8))
+        assert status == 200
+        digest = payload["digest"]
+
+        status, raw = self.get(app, f"/result/{digest}")
+        assert status == 200
+        assert json.loads(raw)["result"] == payload["result"]
+        assert self.get(app, "/result/" + "0" * 64)[0] == 404
+        assert self.get(app, "/result/nope")[0] == 400
+
+        status, raw = self.get(app, "/healthz")
+        assert status == 200 and json.loads(raw)["status"] == "ok"
+
+        status, raw = self.get(app, "/stats")
+        stats = json.loads(raw)
+        assert status == 200
+        assert stats["cache"]["writes"] == 1
+        assert stats["responses"].get("200") == 1
+
+        status, raw = self.get(app, "/metrics")
+        text = raw.decode()
+        assert status == 200
+        for name in ("repro_serve_queue_depth", "repro_serve_breaker_state",
+                     "repro_serve_cache_hit_rate", "repro_serve_workers",
+                     "repro_serve_responses", "repro_serve_worker_saturation"):
+            assert name in text, name
+        assert text.rstrip().endswith("# EOF")
+
+        assert self.get(app, "/nothing")[0] == 404
+        assert self.post(app, "/nothing", b"{}")[0] == 404
+        assert self.post(app, "/simulate", b"x" * (1 << 20 + 1))[0] == 413
+
+    def test_healthz_reports_draining(self, app_factory):
+        app = app_factory()
+        app.drain.begin("test")
+        status, raw = self.get(app, "/healthz")
+        assert status == 503
+        assert json.loads(raw)["status"] == "draining"

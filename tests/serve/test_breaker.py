@@ -1,0 +1,101 @@
+"""Circuit breaker state machine under an injected clock."""
+
+import pytest
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+class TestBreaker:
+    def test_trips_after_consecutive_failures(self, clock):
+        breaker = CircuitBreaker(threshold=3, reset_after=5.0, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.rejected_total == 1
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = CircuitBreaker(threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED      # streak broken: 2, not 4
+
+    def test_half_opens_on_timer_and_closes_on_probe_success(self, clock):
+        breaker = CircuitBreaker(threshold=1, reset_after=2.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.retry_after() == pytest.approx(2.0)
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()              # the probe
+        assert not breaker.allow()          # only one probe slot
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_a_fresh_timer(self, clock):
+        breaker = CircuitBreaker(threshold=1, reset_after=2.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        clock.advance(1.0)
+        breaker.record_failure()            # probe failed
+        assert breaker.state == OPEN
+        assert breaker.retry_after() == pytest.approx(2.0)
+        clock.advance(1.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.allow()
+
+    def test_record_neutral_frees_the_probe_slot(self, clock):
+        breaker = CircuitBreaker(threshold=1, reset_after=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.record_neutral()            # e.g. client deadline, not pool
+        assert breaker.state == HALF_OPEN   # no verdict on the pool
+        assert breaker.allow()              # slot reusable
+
+    def test_state_codes_cover_all_states(self, clock):
+        breaker = CircuitBreaker(threshold=1, reset_after=1.0, clock=clock)
+        assert breaker.state_code == 0
+        breaker.record_failure()
+        assert breaker.state_code == 2
+        clock.advance(1.0)
+        assert breaker.state_code == 1
+
+    def test_transitions_are_counted(self, clock):
+        breaker = CircuitBreaker(threshold=1, reset_after=1.0, clock=clock)
+        breaker.record_failure()            # closed -> open
+        clock.advance(1.0)
+        breaker.allow()                     # open -> half-open
+        breaker.record_success()            # half-open -> closed
+        assert breaker.transitions == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_after=-1.0)

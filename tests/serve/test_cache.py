@@ -1,0 +1,130 @@
+"""Result-cache robustness: corruption quarantine, atomic visibility,
+cache-dir loss mid-run — every defect degrades to recompute."""
+
+import json
+import shutil
+import threading
+
+import pytest
+
+from repro.serve.cache import ResultCache, payload_checksum
+
+DIGEST = "ab" + "0" * 62
+OTHER = "cd" + "0" * 62
+PAYLOAD = {"aur": 0.5, "jobs": 12, "seed": 7}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, cache):
+        assert cache.get(DIGEST) is None
+        assert cache.put(DIGEST, PAYLOAD) is not None
+        assert cache.get(DIGEST) == PAYLOAD
+        stats = cache.stats()
+        assert stats == {"hits": 1, "misses": 1, "corrupt": 0,
+                         "writes": 1, "hit_rate": 0.5}
+
+    def test_rejects_malformed_digests(self, cache):
+        for bad in ("", "xyz", "A" * 64, "0" * 63, "../../etc/passwd"):
+            with pytest.raises(ValueError):
+                cache.get(bad)
+
+
+class TestCorruption:
+    def corrupt_cases(self, cache):
+        path = cache.path_for(DIGEST)
+        good = path.read_text()
+        envelope = json.loads(good)
+        tampered = dict(envelope)
+        tampered["payload"] = {**PAYLOAD, "aur": 0.9}   # bit-flip, stale sum
+        misfiled = dict(envelope)
+        misfiled["digest"] = OTHER
+        return [
+            good[: len(good) // 2],                      # torn write
+            "not json at all {{{",                       # garbage
+            json.dumps({"payload": PAYLOAD}),            # missing fields
+            json.dumps(tampered, sort_keys=True),        # checksum mismatch
+            json.dumps(misfiled, sort_keys=True),        # wrong address
+        ]
+
+    def test_every_defect_quarantines_and_recomputes(self, cache):
+        cache.put(DIGEST, PAYLOAD)
+        path = cache.path_for(DIGEST)
+        for round_, defect in enumerate(self.corrupt_cases(cache), 1):
+            path.write_text(defect)
+            assert cache.get(DIGEST) is None           # miss, not garbage
+            assert not path.exists()                   # moved aside
+            assert len(cache.quarantined()) == round_  # evidence kept
+            # The recompute path: overwrite and serve again.
+            cache.put(DIGEST, PAYLOAD)
+            assert cache.get(DIGEST) == PAYLOAD
+        assert cache.stats()["corrupt"] == len(self.corrupt_cases(cache))
+
+    def test_quarantine_names_never_collide(self, cache):
+        path = cache.path_for(DIGEST)
+        for _ in range(3):
+            cache.put(DIGEST, PAYLOAD)
+            path.write_text("garbage")
+            assert cache.get(DIGEST) is None
+        assert len(cache.quarantined()) == 3
+
+
+class TestConcurrency:
+    def test_read_during_write_sees_old_or_new_never_torn(self, cache):
+        """Hammer get() while put() rewrites the same entry: atomic
+        rename means every read is a verified payload or a clean miss —
+        never a quarantine event (which would mean a torn read)."""
+        versions = [{"v": n, "blob": "x" * 500} for n in range(40)]
+        cache.put(DIGEST, versions[0])
+        stop = threading.Event()
+        seen, failures = [], []
+
+        def reader():
+            while not stop.is_set():
+                payload = cache.get(DIGEST)
+                if payload is None:
+                    failures.append("miss during rewrite")
+                elif payload not in versions:
+                    failures.append(f"torn payload {payload!r}")
+                else:
+                    seen.append(payload["v"])
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for version in versions[1:]:
+            cache.put(DIGEST, version)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert not failures
+        assert cache.stats()["corrupt"] == 0
+        assert len(seen) > 0
+
+    def test_cache_dir_deleted_mid_run_degrades_to_recompute(self, cache):
+        cache.put(DIGEST, PAYLOAD)
+        assert cache.get(DIGEST) == PAYLOAD
+        shutil.rmtree(cache.root)
+        # Reads are misses, not errors; writes rebuild the tree.
+        assert cache.get(DIGEST) is None
+        assert cache.put(DIGEST, PAYLOAD) is not None
+        assert cache.get(DIGEST) == PAYLOAD
+        assert cache.stats()["corrupt"] == 0
+
+    def test_root_replaced_by_a_file_still_degrades(self, cache, tmp_path):
+        cache.put(DIGEST, PAYLOAD)
+        shutil.rmtree(cache.root)
+        cache.root.write_text("now I am a file")
+        assert cache.get(DIGEST) is None       # NotADirectoryError -> miss
+        assert cache.put(DIGEST, PAYLOAD) is None   # swallowed, best-effort
+
+
+class TestChecksum:
+    def test_payload_checksum_is_canonical(self):
+        assert payload_checksum({"b": 1, "a": 2}) == \
+            payload_checksum({"a": 2, "b": 1})
+        assert payload_checksum({"a": 1}) != payload_checksum({"a": 2})

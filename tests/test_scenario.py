@@ -159,3 +159,76 @@ def test_canonical_kwargs_do_not_warn(recwarn):
     deprecations = [w for w in recwarn.list
                     if issubclass(w.category, DeprecationWarning)]
     assert deprecations == []
+
+
+# ----------------------------------------------------------------------
+# Content digest (the serve-layer cache key)
+# ----------------------------------------------------------------------
+
+def test_digest_is_stable_and_canonical():
+    scenario = quick_scenario(n_tasks=3, n_objects=2, seed=7)
+    digest = scenario.digest()
+    assert len(digest) == 64 and int(digest, 16) >= 0
+    # Deterministic within a process...
+    assert scenario.digest() == digest
+    # ...and across dict-ordering: rebuilding from a key-reversed dict
+    # must hash identically (JSON transports do not preserve order).
+    shuffled = dict(reversed(list(scenario.to_dict().items())))
+    shuffled["workload"] = dict(
+        reversed(list(shuffled["workload"].items())))
+    assert Scenario.from_dict(shuffled).digest() == digest
+    # ...and through a JSON round-trip.
+    rebuilt = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+    assert rebuilt.digest() == digest
+
+
+def test_digest_survives_process_restart():
+    """The digest is a pure content hash: a fresh interpreter (fresh
+    PYTHONHASHSEED, fresh imports) computes the same value."""
+    import subprocess
+    import sys
+
+    scenario = quick_scenario(n_tasks=3, n_objects=2, seed=11)
+    code = (
+        "import json, sys\n"
+        "from repro import Scenario\n"
+        "s = Scenario.from_dict(json.loads(sys.argv[1]))\n"
+        "print(s.digest())\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code, json.dumps(scenario.to_dict())],
+        capture_output=True, text=True, check=True,
+        env={"PYTHONPATH": "src", "PYTHONHASHSEED": "random"},
+        cwd=str(__import__("pathlib").Path(__file__).parent.parent),
+    )
+    assert out.stdout.strip() == scenario.digest()
+
+
+def test_digest_changes_under_any_field_change():
+    base = quick_scenario(n_tasks=3, n_objects=2, seed=7)
+    digests = {base.digest()}
+    variants = [
+        quick_scenario(n_tasks=3, n_objects=2, seed=8),
+        quick_scenario(n_tasks=4, n_objects=2, seed=7),
+        quick_scenario(n_tasks=3, n_objects=2, seed=7, sync="lockbased"),
+        quick_scenario(n_tasks=3, n_objects=2, seed=7, load=0.9),
+        quick_scenario(n_tasks=3, n_objects=2, seed=7, tuf_class="hetero"),
+    ]
+    import dataclasses
+    variants += [
+        dataclasses.replace(base, horizon=base.horizon + 1),
+        dataclasses.replace(base, seeding="shared"),
+        dataclasses.replace(base, policy="llf"),
+        dataclasses.replace(base, retry_policy="on_preemption"),
+        dataclasses.replace(base, trace=True),
+        dataclasses.replace(base, monitors=True),
+    ]
+    for variant in variants:
+        digests.add(variant.digest())
+    assert len(digests) == len(variants) + 1, "digest collision"
+
+
+def test_digest_rejects_runtime_scenarios():
+    tasks = tuple(paper_taskset(random.Random(0), n_tasks=2))
+    with pytest.raises(ValueError):
+        Scenario(tasks=tasks).digest()
