@@ -128,8 +128,11 @@ def _coalesce_deprecated(canonical_name: str, canonical_value,
     return old_value
 
 
-def _run_scenario(scenario: Scenario, observer=None) -> SimulationSummary:
-    """Execute one Scenario on a fresh kernel."""
+def _run_scenario(scenario: Scenario, observer=None, checkpoints=None,
+                  checkpoint_sink=None,
+                  resume_from=None) -> SimulationSummary:
+    """Execute one Scenario on a fresh kernel (optionally restored from
+    a :class:`~repro.sim.checkpoint.KernelCheckpoint`)."""
     tasks, traces = scenario.materialize()
     policy, mode, costs = build_policy_and_mode(scenario.sync)
     if scenario.policy == "edf":
@@ -152,8 +155,14 @@ def _run_scenario(scenario: Scenario, observer=None) -> SimulationSummary:
         retry_guard=scenario.retry_guard,
         monitors=scenario.monitors,
         observer=observer,
+        checkpoints=checkpoints,
+        checkpoint_sink=checkpoint_sink,
     )
-    result = Kernel(config).run()
+    if resume_from is not None:
+        kernel = Kernel.restore(config, resume_from)
+    else:
+        kernel = Kernel(config)
+    result = kernel.run()
     return SimulationSummary(
         policy=policy.name,
         sync=scenario.sync,
@@ -174,7 +183,10 @@ def simulate(scenario=None, sync=None, horizon=None, seed=None,
              monitors: bool = False,
              observer=None,
              obs=None,
-             tasks=None) -> SimulationSummary:
+             tasks=None,
+             checkpoints=None,
+             checkpoint_sink=None,
+             resume_from=None) -> SimulationSummary:
     """Run one simulation.
 
     Canonical form: ``simulate(scenario)`` with a
@@ -193,6 +205,13 @@ def simulate(scenario=None, sync=None, horizon=None, seed=None,
     inject a deterministic fault plan, guard UAM admission, bound
     lock-free retries, and attach the runtime invariant monitors; the
     run's degradation report lands on ``summary.result.degradation``.
+
+    Crash recovery (see :mod:`repro.sim.checkpoint`): ``checkpoints=``
+    attaches a :class:`~repro.sim.checkpoint.CheckpointPolicy` (each
+    snapshot goes to ``checkpoint_sink``, a callable, or accumulates on
+    the kernel); ``resume_from=`` restores a
+    :class:`~repro.sim.checkpoint.KernelCheckpoint` and finishes the
+    run byte-identically to the uninterrupted simulation.
     """
     observer = _coalesce_deprecated("observer", observer, "obs", obs)
     faults = _coalesce_deprecated("faults", faults, "fault_plan",
@@ -204,8 +223,18 @@ def simulate(scenario=None, sync=None, horizon=None, seed=None,
                 or monitors or arrival_style != "uniform"):
             raise TypeError(
                 "simulate(scenario) takes the full configuration from "
-                "the Scenario; only observer= may be passed alongside")
-        return _run_scenario(scenario, observer=observer)
+                "the Scenario; only observer=, checkpoints=, "
+                "checkpoint_sink= and resume_from= may be passed "
+                "alongside")
+        return _run_scenario(scenario, observer=observer,
+                             checkpoints=checkpoints,
+                             checkpoint_sink=checkpoint_sink,
+                             resume_from=resume_from)
+    if checkpoints is not None or checkpoint_sink is not None \
+            or resume_from is not None:
+        raise TypeError(
+            "checkpoints=/checkpoint_sink=/resume_from= require the "
+            "canonical simulate(scenario) form")
     if tasks is None:
         tasks = scenario
     if tasks is None or sync is None or horizon is None or seed is None:

@@ -25,6 +25,11 @@ from repro.campaign.chaos import ChaosPlan
 from repro.campaign.engine import CampaignEngine
 from repro.campaign.io import atomic_write
 from repro.campaign.journal import CampaignJournal, JournalError, load_journal
+from repro.campaign.resume import (
+    CheckpointStore,
+    TrialContext,
+    simulate_scenario_trial,
+)
 from repro.campaign.seeding import backoff_delay, derive_seed, derive_seeds
 from repro.campaign.spec import (
     RETRYABLE_KINDS,
@@ -60,10 +65,12 @@ __all__ = [
     "CampaignResult",
     "CampaignStats",
     "ChaosPlan",
+    "CheckpointStore",
     "JournalError",
     "RETRYABLE_KINDS",
     "SimulatedWorkerCrash",
     "TransientTrialError",
+    "TrialContext",
     "TrialFailure",
     "TrialOutcome",
     "TrialSpec",
@@ -73,4 +80,5 @@ __all__ = [
     "derive_seed",
     "derive_seeds",
     "load_journal",
+    "simulate_scenario_trial",
 ]

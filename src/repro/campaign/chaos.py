@@ -8,6 +8,9 @@ wrapper*, before the real trial function runs:
 * ``crash`` — the worker process dies via ``os._exit`` (serially, a
   :class:`~repro.campaign.spec.SimulatedWorkerCrash` is raised instead,
   since a real exit would not be isolated);
+* ``kill9`` — the worker sends itself a real, unhandled ``SIGKILL``
+  (the harshest death the OS offers: no atexit hooks, no buffered-IO
+  flush; serially it degrades to the same simulated crash as ``crash``);
 * ``hang`` — the wrapper sleeps past the campaign's per-trial timeout;
 * ``transient`` — a :class:`~repro.campaign.spec.TransientTrialError`
   is raised.
@@ -21,6 +24,7 @@ assert.
 from __future__ import annotations
 
 import os
+import signal
 import time
 from dataclasses import dataclass
 
@@ -32,6 +36,7 @@ class ChaosPlan:
     """Deterministic campaign-layer faults, keyed by global trial index."""
 
     crash: tuple[int, ...] = ()
+    kill9: tuple[int, ...] = ()
     hang: tuple[int, ...] = ()
     transient: tuple[int, ...] = ()
     hang_seconds: float = 60.0
@@ -39,12 +44,17 @@ class ChaosPlan:
 
     @property
     def empty(self) -> bool:
-        return not (self.crash or self.hang or self.transient)
+        return not (self.crash or self.kill9 or self.hang or self.transient)
 
     def fire(self, index: int, attempt: int, *, in_worker: bool) -> None:
         """Inject the planned fault for ``(index, attempt)``, if any."""
         if attempt != self.on_attempt:
             return
+        if index in self.kill9:
+            if in_worker:
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise SimulatedWorkerCrash(
+                f"chaos: injected kill -9 in trial {index}")
         if index in self.crash:
             if in_worker:
                 os._exit(13)     # simulate a hard worker death

@@ -53,11 +53,15 @@ from repro.campaign.spec import (
 
 def _execute_trial(fn: Callable[..., Any], args: tuple,
                    kwargs: tuple[tuple[str, Any], ...],
-                   chaos, index: int, attempt: int) -> Any:
+                   chaos, index: int, attempt: int,
+                   trial_context=None) -> Any:
     """Worker-side trial wrapper (module-level, hence picklable)."""
     if chaos is not None:
         chaos.fire(index, attempt, in_worker=True)
-    return fn(*args, **dict(kwargs))
+    call_kwargs = dict(kwargs)
+    if trial_context is not None:
+        call_kwargs["_trial"] = trial_context
+    return fn(*args, **call_kwargs)
 
 
 def _classify(exc: BaseException) -> str:
@@ -209,6 +213,47 @@ class CampaignEngine:
     def _may_retry(self, kind: str, attempts: int) -> bool:
         return kind in RETRYABLE_KINDS and attempts < self.config.max_attempts
 
+    def _trial_context(self, spec: TrialSpec, gidx: int, attempt: int):
+        """A :class:`~repro.campaign.resume.TrialContext` for this
+        attempt, or None when the trial does not checkpoint (no
+        ``checkpoint_dir``, or the function never asked for one)."""
+        if not self.config.checkpoint_dir:
+            return None
+        if not getattr(spec.fn, "wants_trial_context", False):
+            return None
+        from repro.campaign.resume import TrialContext
+
+        return TrialContext(index=gidx, attempt=attempt,
+                            checkpoint_dir=self.config.checkpoint_dir)
+
+    def _recovery_info(self, spec: TrialSpec,
+                       gidx: int) -> dict[str, Any] | None:
+        """Summarize the trial's checkpoint lineage for the outcome and
+        journal; projects the recovery counters into the observer."""
+        if self._trial_context(spec, gidx, 0) is None:
+            return None
+        from repro.campaign.resume import CheckpointStore
+
+        lineage = CheckpointStore(self.config.checkpoint_dir).lineage(gidx)
+        if not lineage:
+            return None
+        resumed = [e for e in lineage if e.get("resumed")]
+        written = sum(e.get("checkpoints_written", 0)
+                      for e in lineage if e.get("completed"))
+        saved = sum(e.get("resume_clock") or 0 for e in resumed)
+        if self.obs.enabled:
+            if written:
+                self.obs.counter("campaign.checkpoints_written", written)
+            if resumed:
+                self.obs.counter("campaign.resumed_trials")
+                self.obs.counter("campaign.resume_simns_saved", saved)
+        return {
+            "lineage": lineage,
+            "resumed_attempts": len(resumed),
+            "checkpoints_written": written,
+            "resume_simns_saved": saved,
+        }
+
     # ------------------------------------------------------------------
     # Serial execution
     # ------------------------------------------------------------------
@@ -237,10 +282,16 @@ class CampaignEngine:
                 if self.config.chaos is not None:
                     self.config.chaos.fire(gidx, attempt, in_worker=False)
                 started = self._clock()
-                value = spec.call()
+                context = self._trial_context(spec, gidx, attempt)
+                if context is not None:
+                    value = spec.fn(*spec.args, **dict(spec.kwargs),
+                                    _trial=context)
+                else:
+                    value = spec.call()
                 return TrialOutcome(index=gidx, ok=True, value=value,
                                     attempts=attempt + 1, failures=failures,
-                                    wall_s=self._clock() - started)
+                                    wall_s=self._clock() - started,
+                                    recovery=self._recovery_info(spec, gidx))
             except Exception as exc:
                 kind = _classify(exc)
                 failures.append(TrialFailure(index=gidx, attempt=attempt,
@@ -248,7 +299,9 @@ class CampaignEngine:
                 attempt += 1
                 if not self._may_retry(kind, attempt):
                     return TrialOutcome(index=gidx, ok=False,
-                                        attempts=attempt, failures=failures)
+                                        attempts=attempt, failures=failures,
+                                        recovery=self._recovery_info(
+                                            spec, gidx))
                 self._sleep(self._backoff(gidx, attempt - 1))
 
     # ------------------------------------------------------------------
@@ -308,7 +361,9 @@ class CampaignEngine:
             outcome = TrialOutcome(index=gidx, ok=ok, value=value,
                                    attempts=attempts[gidx],
                                    failures=failures[gidx],
-                                   wall_s=wall_s)
+                                   wall_s=wall_s,
+                                   recovery=self._recovery_info(
+                                       by_index[gidx], gidx))
             self._checkpoint(outcome)
             self._note_outcome(outcome)
             done[gidx] = outcome
@@ -346,7 +401,8 @@ class CampaignEngine:
                     spec = by_index[gidx]
                     future = executor.submit(
                         _execute_trial, spec.fn, spec.args, spec.kwargs,
-                        chaos, gidx, attempts[gidx])
+                        chaos, gidx, attempts[gidx],
+                        self._trial_context(spec, gidx, attempts[gidx]))
                     deadline = None if timeout is None else now + timeout
                     running[future] = (gidx, deadline, self._clock())
                 if self.obs.enabled:

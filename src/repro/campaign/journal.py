@@ -8,7 +8,9 @@ into a different campaign.
 
 Durability model:
 
-* the header is created atomically (:func:`repro.campaign.io.atomic_write`);
+* the header is created atomically (:func:`repro.campaign.io.atomic_write`)
+  and :meth:`CampaignJournal.open` always fsyncs the parent directory, so
+  the journal's very existence survives a crash immediately after open;
 * each record append is flushed and fsynced before the engine considers
   the trial checkpointed (write-ahead: the journal entry lands before
   the result is surfaced to aggregation);
@@ -32,7 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.campaign.io import atomic_write
+from repro.campaign.io import _fsync_dir, atomic_write
 from repro.campaign.spec import TrialFailure, TrialOutcome
 
 _VERSION = 1
@@ -105,17 +107,27 @@ class CampaignJournal:
         # appending straight after it would glue the next record onto
         # the torn prefix and lose it.  Terminate the torn line so it
         # stays its own (ignored) line.
+        repaired = False
         if target.stat().st_size > 0:
             with open(target, "rb") as check:
                 check.seek(-1, os.SEEK_END)
                 if check.read(1) != b"\n":
                     handle.write("\n")
                     handle.flush()
+                    repaired = True
         if reheader:
             handle.write(json.dumps({"type": "header", "version": _VERSION,
                                      "tag": tag}, sort_keys=True) + "\n")
             handle.flush()
+            repaired = True
+        if repaired:
             os.fsync(handle.fileno())
+        # The rename in atomic_write fsyncs the directory for the
+        # *creation* path, but the repair paths above mutate an existing
+        # file whose directory entry may still be unjournaled (e.g. the
+        # journal itself survived a crash that its directory did not).
+        # Pin the entry before any trial record depends on it.
+        _fsync_dir(target.parent)
         return cls(target, handle)
 
     def close(self) -> None:
@@ -142,6 +154,8 @@ class CampaignJournal:
             "attempts": outcome.attempts,
             "failures": [f.to_dict() for f in outcome.failures],
         }
+        if outcome.recovery is not None:
+            entry["recovery"] = outcome.recovery
         if outcome.ok:
             entry["payload"] = _encode_value(outcome.value)
         line = json.dumps(entry, sort_keys=True)

@@ -92,9 +92,13 @@ class TrialOutcome:
     #: Wall-clock seconds of the successful attempt (submit-to-done under
     #: parallel execution); None for journal hits and failed trials.
     wall_s: float | None = None
+    #: Checkpoint lineage for crash-recoverable trials: attempt records
+    #: from the trial's CheckpointStore sidecar plus resume accounting
+    #: (see DESIGN.md §15).  None when the trial did not checkpoint.
+    recovery: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "index": self.index,
             "ok": self.ok,
             "attempts": self.attempts,
@@ -102,6 +106,9 @@ class TrialOutcome:
             "failures": [f.to_dict() for f in self.failures],
             "wall_s": self.wall_s,
         }
+        if self.recovery is not None:
+            doc["recovery"] = self.recovery
+        return doc
 
 
 @dataclass(frozen=True)
@@ -134,6 +141,12 @@ class CampaignConfig:
     chaos: "ChaosPlan | None" = None
     metrics_port: int | None = None   # live /metrics endpoint (0 = any)
     metrics_host: str = "127.0.0.1"
+    #: Directory for per-trial kernel checkpoints.  When set, trial
+    #: functions that declare ``wants_trial_context = True`` receive a
+    #: ``_trial=`` :class:`repro.campaign.resume.TrialContext` and their
+    #: crash/timeout retries resume from the last valid checkpoint
+    #: instead of from zero (DESIGN.md §15).
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:

@@ -371,6 +371,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="content-addressed result cache directory")
     serve.add_argument("--drain-grace", type=float, default=10.0,
                        help="seconds to finish in-flight work on drain")
+    serve.add_argument("--request-log", default=None, metavar="PATH",
+                       help="write-ahead request log: admitted requests "
+                            "are journaled durably and replayed on warm "
+                            "restart after a kill -9")
     serve.add_argument("--drain-journal", default=None, metavar="PATH",
                        help="journal unfinished scenarios here on drain")
     serve.add_argument("--duration", type=float, default=None,
@@ -415,6 +419,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="[self-host] breaker trip threshold")
     load.add_argument("--breaker-reset", type=float, default=2.0,
                       help="[self-host] breaker half-open timer")
+    load.add_argument("--request-log", default=None, metavar="PATH",
+                      help="write-ahead request log for the self-hosted "
+                           "server (see repro serve --request-log)")
     load.add_argument("--cache-dir", default=None,
                       help="[self-host] cache directory "
                            "(default: a fresh temp dir)")
@@ -705,6 +712,9 @@ def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
                  "submission index)")
     chaos.add_argument("--chaos-crash", default="", metavar="I,J,...",
                        help="kill the worker process on these submissions")
+    chaos.add_argument("--chaos-kill9", default="", metavar="I,J,...",
+                       help="SIGKILL the worker process on these "
+                            "submissions (hard, unhandled death)")
     chaos.add_argument("--chaos-hang", default="", metavar="I,J,...",
                        help="hang the trial on these submissions")
     chaos.add_argument("--chaos-transient", default="", metavar="I,J,...",
@@ -723,11 +733,13 @@ def _parse_indices(text: str, flag: str) -> tuple[int, ...]:
 
 def _chaos_from_args(args) -> "ChaosPlan | None":
     crash = _parse_indices(args.chaos_crash, "--chaos-crash")
+    kill9 = _parse_indices(getattr(args, "chaos_kill9", ""), "--chaos-kill9")
     hang = _parse_indices(args.chaos_hang, "--chaos-hang")
     transient = _parse_indices(args.chaos_transient, "--chaos-transient")
-    if not (crash or hang or transient):
+    if not (crash or kill9 or hang or transient):
         return None
-    return ChaosPlan(crash=crash, hang=hang, transient=transient,
+    return ChaosPlan(crash=crash, kill9=kill9, hang=hang,
+                     transient=transient,
                      hang_seconds=args.chaos_hang_seconds)
 
 
@@ -754,6 +766,7 @@ def _serve_config_from_args(args, *, cache_dir: str,
             cache_dir=cache_dir,
             drain_grace_s=drain_grace,
             drain_journal=drain_journal,
+            request_log=getattr(args, "request_log", None),
             chaos=_chaos_from_args(args),
         )
     except ValueError as exc:

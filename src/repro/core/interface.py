@@ -156,6 +156,24 @@ class SchedulerPolicy(ABC):
                    job.blocked_on) for job in jobs),
         )
 
+    def reset_caches(self) -> None:
+        """Drop every memoized scheduling artifact.
+
+        Called on checkpoint restore: restored jobs are new objects with
+        fresh serials, so any pass memoized before the snapshot — the
+        exact-pass memo here, or a subclass's prefix-replay
+        :class:`~repro.core.schedule_cache.ScheduleCache` — must never
+        replay.  Caches are performance-only (the fast-path equivalence
+        gate guarantees identical decisions without them), so dropping
+        them cannot change any schedule.
+        """
+        self._memo_key = None
+        self._memo_result = None
+        self._deadlock_victims = []
+        cache = getattr(self, "_schedule_cache", None)
+        if cache is not None:
+            cache.invalidate()
+
     def _emit_counters(self, result: PassResult) -> None:
         """Deterministic per-pass counters, identical on the computed,
         memoized and short-circuited paths."""

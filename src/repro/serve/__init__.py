@@ -23,6 +23,7 @@ from repro.serve.drain import (
 )
 from repro.serve.loadgen import LoadConfig, run_load
 from repro.serve.pool import PoolFailure, SimulationPool, result_payload
+from repro.serve.wal import RequestLog
 
 __all__ = [
     "AdmissionDecision",
@@ -43,6 +44,7 @@ __all__ = [
     "LoadConfig",
     "run_load",
     "PoolFailure",
+    "RequestLog",
     "SimulationPool",
     "result_payload",
 ]

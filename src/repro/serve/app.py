@@ -30,6 +30,7 @@ load balancers and the CLI/CI harness respectively.
 
 from __future__ import annotations
 
+import functools
 import json
 import threading
 import time
@@ -49,7 +50,8 @@ from repro.serve.admission import AdmissionQueue, ServeRequest
 from repro.serve.breaker import CircuitBreaker, OPEN
 from repro.serve.cache import ResultCache
 from repro.serve.drain import DrainController, write_drain_journal
-from repro.serve.pool import PoolFailure, SimulationPool
+from repro.serve.pool import PoolFailure, SimulationPool, close_inherited_fd
+from repro.serve.wal import RequestLog
 
 __all__ = ["ServeConfig", "ServeApp"]
 
@@ -79,6 +81,9 @@ class ServeConfig:
     cache_dir: str = ".repro-serve-cache"
     drain_grace_s: float = 10.0          # finish window on SIGTERM
     drain_journal: str | None = None     # unfinished-work journal path
+    #: Write-ahead request log (repro.serve.wal): admitted requests are
+    #: journaled durably and replayed on warm restart after a kill -9.
+    request_log: str | None = None
     chaos: ChaosPlan | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -107,6 +112,7 @@ class ServeConfig:
             "cache_dir": self.cache_dir,
             "drain_grace_s": self.drain_grace_s,
             "drain_journal": self.drain_journal,
+            "request_log": self.request_log,
             "chaos": self.chaos is not None,
         }
 
@@ -146,6 +152,12 @@ class ServeApp:
         self._server_thread: threading.Thread | None = None
         self._journaled = 0
         self._started_at: float | None = None
+        self.request_log = (RequestLog(cfg.request_log)
+                            if cfg.request_log else None)
+        self._recovered_total = 0
+        #: Digests replayed from the request log whose results are not
+        #: yet in the cache; recovery is complete when this drains.
+        self._recovery_pending: set[str] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -155,21 +167,70 @@ class ServeApp:
         if self._server is not None:
             return self
         self._started_at = self._clock()
+        # Bind before anything can fork a worker: every pool worker
+        # (including respawns after a rebuild) closes the inherited
+        # listener, so orphans of a SIGKILLed server cannot keep the
+        # port bound against a warm restart.
+        server = _ServeHTTPServer((self.config.host, self.config.port),
+                                  _ServeHandler)
+        server.app = self
+        self._server = server
+        self.pool.worker_init = functools.partial(
+            close_inherited_fd, server.socket.fileno())
+        self._recover()
         for index in range(self.config.workers):
             thread = threading.Thread(target=self._dispatch_loop,
                                       name=f"repro-serve-dispatch-{index}",
                                       daemon=True)
             thread.start()
             self._dispatchers.append(thread)
-        server = _ServeHTTPServer((self.config.host, self.config.port),
-                                  _ServeHandler)
-        server.app = self
-        self._server = server
         self._server_thread = threading.Thread(
             target=server.serve_forever, name="repro-serve-http",
             daemon=True)
         self._server_thread.start()
         return self
+
+    def _recover(self) -> None:
+        """Warm restart: replay the write-ahead request log.
+
+        Entries whose digest is already in the result cache were fully
+        served before the crash (the atomic ``cache.put`` is the commit
+        record); the rest — queued or in-flight when the server died —
+        are re-enqueued as orphan requests and computed exactly once.
+        The log is then compacted to the still-pending entries.
+        """
+        if self.request_log is None:
+            return
+        entries = self.request_log.load()
+        if not entries:
+            return
+        pending = [entry for entry in entries
+                   if self.cache.get(entry["digest"]) is None]
+        for entry in pending:
+            request = ServeRequest(
+                entry["scenario"], entry["digest"],
+                priority=float(entry.get("priority") or 1.0),
+                cost=max(float(entry["scenario"].get("horizon", 1.0)), 1.0),
+                # The original client is gone; recovered work keeps no
+                # deadline so it always reaches the cache.
+                deadline=None,
+                enqueued_at=self._clock(),
+            )
+            self._recovery_pending.add(entry["digest"])
+            self.queue.submit(request)
+        self._recovered_total = len(pending)
+        self.request_log.compact(pending)
+
+    @property
+    def recovery_status(self) -> dict[str, Any]:
+        with self._lock:
+            pending = len(self._recovery_pending)
+        return {
+            "enabled": self.request_log is not None,
+            "recovered": self._recovered_total,
+            "pending": pending,
+            "complete": pending == 0,
+        }
 
     @property
     def port(self) -> int | None:
@@ -223,6 +284,8 @@ class ServeApp:
             self._server_thread.join(timeout=5.0)
             self._server_thread = None
         self.pool.shutdown()
+        if self.request_log is not None:
+            self.request_log.close()
         self.drain.finish()
         return {
             "reason": reason,
@@ -312,6 +375,14 @@ class ServeApp:
             deadline=self._clock() + deadline_s,
             enqueued_at=self._clock(),
         )
+        # Write-ahead: journal before the queue can accept, so no
+        # admitted request is ever unlogged.  (A request logged but then
+        # shed is re-checked against the cache on restart — recomputing
+        # it is idempotent, losing it would not be.)
+        if self.request_log is not None and not self.drain.draining:
+            self.request_log.append(digest, request.scenario_dict,
+                                    priority=priority,
+                                    deadline_s=deadline_s)
         decision = self.queue.submit(request)
         if decision.shed is not None:
             self._answer(decision.shed, 429, {
@@ -410,6 +481,8 @@ class ServeApp:
             return
         self.breaker.record_success()
         self.cache.put(request.digest, payload)
+        with self._lock:
+            self._recovery_pending.discard(request.digest)
         self._answer(request, 200, {"digest": request.digest,
                                     "cached": False, "result": payload})
 
@@ -454,6 +527,7 @@ class ServeApp:
                 "journaled": self._journaled,
                 "journal": self.config.drain_journal,
             },
+            "recovery": self.recovery_status,
         }
 
     def _fill_metrics(self, registry: MetricsRegistry) -> None:
@@ -512,6 +586,21 @@ class ServeApp:
                                     ("kind",))
         for kind, count in sorted(self.pool.failure_kinds.items()):
             failures.inc(count, kind=kind)
+        registry.counter(
+            "repro_serve_recovered_requests",
+            "Requests replayed from the write-ahead log on warm restart"
+        ).inc(self._recovered_total)
+        with self._lock:
+            recovery_pending = len(self._recovery_pending)
+        registry.gauge(
+            "repro_serve_recovery_pending",
+            "Replayed requests whose results are not yet cached"
+        ).set(recovery_pending)
+        if self.request_log is not None:
+            registry.counter(
+                "repro_serve_wal_appends",
+                "Requests journaled to the write-ahead log"
+            ).inc(self.request_log.appended)
         responses = registry.counter("repro_serve_responses",
                                      "HTTP responses by status", ("code",))
         with self._lock:
@@ -602,6 +691,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
             self._respond_json(status, {
                 "status": "draining" if app.drain.draining else "ok",
                 "breaker": app.breaker.state,
+                "recovery": app.recovery_status,
             })
         elif path == "/stats":
             self._respond_json(200, app.stats())

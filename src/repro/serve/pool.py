@@ -24,6 +24,7 @@ indistinguishable.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import CancelledError, ProcessPoolExecutor
@@ -43,6 +44,16 @@ from repro.campaign.spec import (
 
 __all__ = ["SimulationPool", "PoolFailure", "simulate_trial",
            "result_payload"]
+
+
+def close_inherited_fd(fd: int) -> None:
+    """Worker initializer: drop a file descriptor inherited across
+    ``fork`` (e.g. the serve layer's listening socket).  Must stay
+    module-level so it pickles under non-fork start methods."""
+    try:
+        os.close(fd)
+    except OSError:  # pragma: no cover - already closed
+        pass
 
 
 class PoolFailure(RuntimeError):
@@ -132,6 +143,12 @@ class SimulationPool:
         self._sleep = sleep
         self._clock = clock
         self._lock = threading.Lock()
+        #: Optional per-worker initializer (picklable zero-arg callable),
+        #: run in every worker process the executor forks — including
+        #: respawns after a rebuild.  The serve layer uses it to close
+        #: the inherited HTTP listener so orphaned workers of a
+        #: SIGKILLed server cannot hold the port against a warm restart.
+        self.worker_init: Callable[[], None] | None = None
         self._executor: ProcessPoolExecutor | None = None
         self._submissions = 0
         self._busy = 0
@@ -150,7 +167,8 @@ class SimulationPool:
         except ValueError:  # pragma: no cover - non-POSIX platforms
             context = get_context()
         return ProcessPoolExecutor(max_workers=self.workers,
-                                   mp_context=context)
+                                   mp_context=context,
+                                   initializer=self.worker_init)
 
     def _executor_ref(self) -> ProcessPoolExecutor:
         with self._lock:

@@ -1,0 +1,590 @@
+"""Kernel checkpoint/restore: crash-recoverable simulation state.
+
+A :class:`KernelCheckpoint` is a *complete*, versioned, digest-stamped,
+JSON-serializable snapshot of a mid-run :class:`repro.sim.kernel.Kernel`:
+the event queue (raw heap order, so tie-breaking sequence numbers
+survive), every job's segment progress and synchronization state, the
+:class:`~repro.sim.locks.LockManager` and NBW
+:class:`~repro.sim.objects.LockFreeObjectTable` tables, the UAM
+admission-guard window counters, the fault injector's RNG stream and
+one-shot bookkeeping, the monitor suite's dedup state, the accumulated
+:class:`~repro.sim.metrics.SimulationResult`, and the trace buffer.
+
+The restore contract is the same equivalence discipline PR 5 set for the
+fast path: ``restore(config, snapshot).run()`` finishes to a
+``SimulationResult`` **byte-identical** to the uninterrupted run — with
+and without ``REPRO_NO_FASTPATH=1``.  Two deliberate properties make
+that hold:
+
+* restored jobs receive *fresh* ``Job.serial`` values (serials are
+  process-global and never recycled), and every scheduling-pass cache is
+  explicitly dropped via ``SchedulerPolicy.reset_caches()``, so a
+  restored kernel can never replay a stale memoized pass;
+* the observer is **not** checkpointed — observation is a side channel
+  that must not perturb the simulation (DESIGN.md §10), so a resumed
+  run's obs summary covers only the post-restore suffix.
+
+Corruption is detected, never trusted: the envelope carries a SHA-256
+digest of the canonical state encoding plus a format version, and
+:func:`KernelCheckpoint.from_json` refuses anything torn, tampered or
+from a different format generation with :class:`CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.faults.report import InvariantViolation
+from repro.sim.engine import EventQueue
+from repro.sim.events import CriticalTimeExpiry, JobArrival, Milestone
+from repro.sim.metrics import JobRecord, SimulationResult
+from repro.sim.objects import _ObjectState, _OpenAccess
+from repro.sim.tracing import TraceEvent, TraceKind
+from repro.tasks.job import Job, JobState
+from repro.tasks.segments import AccessKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Kernel, SimulationConfig
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "CheckpointPolicy",
+    "KernelCheckpoint",
+    "fingerprint_result",
+    "snapshot_kernel",
+    "restore_kernel",
+]
+
+#: Format generation of the checkpoint wire encoding.  Bumped on any
+#: incompatible change; restore refuses other generations outright
+#: (recomputing from zero is always safe, resuming across formats never
+#: is).
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint that cannot be trusted: torn, tampered, truncated,
+    or written by an incompatible format generation."""
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When the kernel emits checkpoints during :meth:`Kernel.run`.
+
+    ``every_events`` snapshots after every K handled events;
+    ``every_ns`` snapshots when at least T simulated nanoseconds have
+    elapsed since the previous snapshot.  Either may be used alone or
+    both together (a snapshot is due when *either* trigger fires; firing
+    resets both meters, so the cadence is identical before and after a
+    restore).
+    """
+
+    every_events: int | None = None
+    every_ns: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.every_events is None and self.every_ns is None:
+            raise ValueError(
+                "CheckpointPolicy needs every_events and/or every_ns")
+        if self.every_events is not None and self.every_events < 1:
+            raise ValueError("every_events must be >= 1")
+        if self.every_ns is not None and self.every_ns < 1:
+            raise ValueError("every_ns must be >= 1")
+
+
+def _canonical(state: dict[str, Any]) -> str:
+    return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+
+def _state_digest(state: dict[str, Any]) -> str:
+    return hashlib.sha256(_canonical(state).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class KernelCheckpoint:
+    """One digest-stamped snapshot of a mid-run kernel.
+
+    ``state`` is plain JSON-compatible data; ``digest`` is the SHA-256
+    of its canonical encoding, computed at snapshot time and re-verified
+    on every decode, so a checkpoint that survives a round-trip is
+    exactly the checkpoint that was written.
+    """
+
+    version: int
+    digest: str
+    state: dict[str, Any]
+
+    @classmethod
+    def wrap(cls, state: dict[str, Any]) -> "KernelCheckpoint":
+        return cls(version=CHECKPOINT_VERSION,
+                   digest=_state_digest(state), state=state)
+
+    @property
+    def clock(self) -> int:
+        """Simulated time at which the snapshot was taken."""
+        return self.state["clock"]
+
+    @property
+    def events_handled(self) -> int:
+        return self.state["events_handled"]
+
+    def verify(self) -> None:
+        """Raise :class:`CheckpointError` unless this checkpoint is
+        intact and of the supported format generation."""
+        if self.version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint format v{self.version} is not the supported "
+                f"v{CHECKPOINT_VERSION}")
+        actual = _state_digest(self.state)
+        if actual != self.digest:
+            raise CheckpointError(
+                f"checkpoint digest mismatch: stamped {self.digest[:12]}, "
+                f"state hashes to {actual[:12]}")
+
+    def to_json(self) -> str:
+        return json.dumps({"version": self.version, "digest": self.digest,
+                           "state": self.state},
+                          sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "KernelCheckpoint":
+        """Decode and verify; any defect raises :class:`CheckpointError`."""
+        try:
+            doc = json.loads(text)
+            checkpoint = cls(version=doc["version"], digest=doc["digest"],
+                             state=doc["state"])
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise CheckpointError(f"unreadable checkpoint: {exc}") from exc
+        if not isinstance(checkpoint.state, dict):
+            raise CheckpointError("checkpoint state is not an object")
+        checkpoint.verify()
+        return checkpoint
+
+
+def fingerprint_result(result: SimulationResult) -> str:
+    """Canonical byte encoding of everything deterministic in a
+    :class:`SimulationResult` — the comparison key of the restore
+    equivalence gate.  ``obs`` is excluded (observation is not
+    checkpointed and carries wall-clock summaries)."""
+    degradation = result.degradation
+    doc = {
+        "records": [_encode_record(record) for record in result.records],
+        "horizon": result.horizon,
+        "scheduler_invocations": result.scheduler_invocations,
+        "scheduler_overhead_time": result.scheduler_overhead_time,
+        "idle_time": result.idle_time,
+        "unfinished": result.unfinished,
+        "lock_mechanism_time": result.lock_mechanism_time,
+        "lockfree_mechanism_time": result.lockfree_mechanism_time,
+        "lock_access_commits": result.lock_access_commits,
+        "lockfree_access_commits": result.lockfree_access_commits,
+        "lockfree_attempts": result.lockfree_attempts,
+        "degradation": (None if degradation is None
+                        else degradation.to_dict()),
+    }
+    return _canonical(doc)
+
+
+# ----------------------------------------------------------------------
+# Encoding helpers
+# ----------------------------------------------------------------------
+# ObjectIds are ``int | str`` and JSON keeps the distinction, so they are
+# stored as-is — but never as dict *keys* (JSON keys are strings);
+# every ObjectId-keyed table is a list of ``[obj, value]`` pairs in
+# insertion order, which also preserves dict iteration order exactly.
+
+
+def _sorted_objs(objs) -> list:
+    return sorted(objs, key=lambda obj: (isinstance(obj, str), obj))
+
+
+def _encode_record(record: JobRecord) -> dict[str, Any]:
+    return {
+        "task_name": record.task_name,
+        "jid": record.jid,
+        "release_time": record.release_time,
+        "completion_time": record.completion_time,
+        "accrued_utility": record.accrued_utility,
+        "max_utility": record.max_utility,
+        "retries": record.retries,
+        "blockings": record.blockings,
+        "preemptions": record.preemptions,
+        "aborted": record.aborted,
+    }
+
+
+def _decode_record(doc: dict[str, Any]) -> JobRecord:
+    return JobRecord(**doc)
+
+
+def _encode_job(job: Job, task_index: int) -> dict[str, Any]:
+    return {
+        "task_index": task_index,
+        "jid": job.jid,
+        "release_time": job.release_time,
+        "state": job.state.value,
+        "segment_index": job.segment_index,
+        "segment_progress": job.segment_progress,
+        "holds_lock": job.holds_lock,
+        "held_locks": _sorted_objs(job.held_locks),
+        "blocked_on": job.blocked_on,
+        "access_dirty": job.access_dirty,
+        "segment_extra": job.segment_extra,
+        "retries": job.retries,
+        "blockings": job.blockings,
+        "preemptions": job.preemptions,
+        "completion_time": job.completion_time,
+        "accrued_utility": job.accrued_utility,
+        "dispatch_token": job.dispatch_token,
+    }
+
+
+def _decode_job(doc: dict[str, Any], tasks) -> Job:
+    # ``serial`` is deliberately NOT restored: serials are process-global
+    # and never recycled, so a restored job's fresh serial can never
+    # collide with any pass a policy memoized before the crash.
+    job = Job(task=tasks[doc["task_index"]], jid=doc["jid"],
+              release_time=doc["release_time"])
+    job.state = JobState(doc["state"])
+    job.segment_index = doc["segment_index"]
+    job.segment_progress = doc["segment_progress"]
+    job.holds_lock = doc["holds_lock"]
+    job.held_locks = set(doc["held_locks"])
+    job.blocked_on = doc["blocked_on"]
+    job.access_dirty = doc["access_dirty"]
+    job.segment_extra = doc["segment_extra"]
+    job.retries = doc["retries"]
+    job.blockings = doc["blockings"]
+    job.preemptions = doc["preemptions"]
+    job.completion_time = doc["completion_time"]
+    job.accrued_utility = doc["accrued_utility"]
+    job.dispatch_token = doc["dispatch_token"]
+    return job
+
+
+def _encode_event(payload, job_index) -> dict[str, Any]:
+    if isinstance(payload, JobArrival):
+        return {"kind": "arrival", "task_index": payload.task_index,
+                "jid": payload.jid, "injected": payload.injected,
+                "deferrals": payload.deferrals}
+    if isinstance(payload, CriticalTimeExpiry):
+        return {"kind": "expiry", "job": job_index[id(payload.job)]}
+    if isinstance(payload, Milestone):
+        return {"kind": "milestone", "job": job_index[id(payload.job)],
+                "token": payload.token}
+    raise CheckpointError(f"unknown event payload {payload!r}")
+
+
+def _decode_event(doc: dict[str, Any], jobs: list[Job]):
+    kind = doc["kind"]
+    if kind == "arrival":
+        return JobArrival(task_index=doc["task_index"], jid=doc["jid"],
+                          injected=doc["injected"],
+                          deferrals=doc["deferrals"])
+    if kind == "expiry":
+        return CriticalTimeExpiry(job=jobs[doc["job"]])
+    if kind == "milestone":
+        return Milestone(job=jobs[doc["job"]], token=doc["token"])
+    raise CheckpointError(f"unknown event kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Snapshot
+# ----------------------------------------------------------------------
+
+def snapshot_kernel(kernel: "Kernel") -> KernelCheckpoint:
+    """Capture the kernel's complete mid-run state.
+
+    Jobs are indexed canonically: the live set in arrival order first,
+    then any departed jobs still referenced from queued events (stale
+    abort timers, superseded milestones) in heap order.  Every other
+    table refers to jobs by that index.
+    """
+    jobs: list[Job] = list(kernel._live)
+    job_index: dict[int, int] = {id(job): i for i, job in enumerate(jobs)}
+
+    def _index_job(job: Job) -> None:
+        if id(job) not in job_index:
+            job_index[id(job)] = len(jobs)
+            jobs.append(job)
+
+    for entry in kernel._queue._heap:
+        payload = entry[3]
+        if isinstance(payload, (CriticalTimeExpiry, Milestone)):
+            _index_job(payload.job)
+    locks = kernel._locks
+    for owner in locks._owner.values():
+        _index_job(owner)
+    for waiters in locks._waiters.values():
+        for waiter in waiters:
+            _index_job(waiter)
+    for holder in locks._held:
+        _index_job(holder)
+    for accessor in kernel._objects._open:
+        _index_job(accessor)
+
+    state: dict[str, Any] = {
+        "clock": kernel._clock,
+        "events_handled": kernel._events_handled,
+        "last_ckpt_event": kernel._last_ckpt_event,
+        "last_ckpt_clock": kernel._last_ckpt_clock,
+        "next_jid": list(kernel._next_jid),
+        "jobs": [
+            _encode_job(job, kernel._task_index[id(job.task)])
+            for job in jobs
+        ],
+        "live": [job_index[id(job)] for job in kernel._live],
+        "running": (None if kernel._running is None
+                    else job_index[id(kernel._running)]),
+        "running_since": kernel._running_since,
+        "kernel_free_at": kernel._kernel_free_at,
+        "queue": {
+            "sequence": kernel._queue._sequence,
+            "heap": [
+                [entry[0], int(entry[1]), entry[2],
+                 _encode_event(entry[3], job_index)]
+                for entry in kernel._queue._heap
+            ],
+        },
+        "locks": {
+            "owner": [[obj, job_index[id(job)]]
+                      for obj, job in locks._owner.items()],
+            "waiters": [[obj, [job_index[id(w)] for w in waiters]]
+                        for obj, waiters in locks._waiters.items()
+                        if waiters],
+            "held": [[job_index[id(job)], list(held)]
+                     for job, held in locks._held.items() if held],
+            "acquisitions": locks.acquisitions,
+            "contentions": locks.contentions,
+            "version": locks.version,
+        },
+        "objects": {
+            "states": [[obj, {"write_version": st.write_version,
+                              "any_version": st.any_version,
+                              "commits": st.commits}]
+                       for obj, st in kernel._objects._objects.items()],
+            "open": [[job_index[id(job)],
+                      {"obj": acc.obj, "kind": acc.kind.value,
+                       "write_version_seen": acc.write_version_seen,
+                       "any_version_seen": acc.any_version_seen,
+                       "retries": acc.retries}]
+                     for job, acc in kernel._objects._open.items()],
+            "total_retries": kernel._objects.total_retries,
+        },
+        "result": {
+            "records": [_encode_record(r) for r in kernel._result.records],
+            "scheduler_invocations": kernel._result.scheduler_invocations,
+            "scheduler_overhead_time":
+                kernel._result.scheduler_overhead_time,
+            "idle_time": kernel._result.idle_time,
+            "lock_mechanism_time": kernel._result.lock_mechanism_time,
+            "lockfree_mechanism_time":
+                kernel._result.lockfree_mechanism_time,
+            "lock_access_commits": kernel._result.lock_access_commits,
+            "lockfree_access_commits":
+                kernel._result.lockfree_access_commits,
+            "lockfree_attempts": kernel._result.lockfree_attempts,
+        },
+    }
+
+    report = kernel._report
+    if report is not None:
+        state["report"] = {
+            "injected_arrivals": report.injected_arrivals,
+            "injected_overruns": report.injected_overruns,
+            "forced_retries": report.forced_retries,
+            "jittered_charges": report.jittered_charges,
+            "timer_faults": report.timer_faults,
+            "shed_jobs": report.shed_jobs,
+            "deferred_jobs": report.deferred_jobs,
+            "deferred_delay_total": report.deferred_delay_total,
+            "retry_aborts": report.retry_aborts,
+            "backoff_time": report.backoff_time,
+            "violations": [v.to_dict() for v in report.violations],
+        }
+    injector = kernel._injector
+    if injector is not None:
+        version, internal, gauss = injector._jitter_rng.getstate()
+        state["injector"] = {
+            "rng": [version, list(internal), gauss],
+            "overruns_applied": sorted(
+                list(key) for key in injector._overruns_applied),
+            "retry_budgets": list(injector._retry_budgets),
+            "timer_faults_fired": sorted(
+                list(key) for key in injector._timer_faults_fired),
+        }
+    if kernel._admission is not None:
+        state["admission"] = [
+            {"admitted": list(counter._admitted), "left": counter._left}
+            for counter in kernel._admission._counters
+        ]
+    if kernel._monitors is not None:
+        state["monitors"] = {
+            "last_clock": kernel._monitors._last_clock,
+            "flagged": sorted(list(key)
+                              for key in kernel._monitors._flagged),
+        }
+    if kernel.tracer.enabled:
+        state["trace"] = [event.to_dict() for event in kernel.tracer.events]
+
+    return KernelCheckpoint.wrap(state)
+
+
+# ----------------------------------------------------------------------
+# Restore
+# ----------------------------------------------------------------------
+
+def restore_kernel(config: "SimulationConfig",
+                   checkpoint: KernelCheckpoint) -> "Kernel":
+    """Rebuild a runnable kernel from ``checkpoint``.
+
+    ``config`` must be *equivalent* to the snapshotted run's config (same
+    tasks, traces, sync, costs, fault plan, ...) — normally it is rebuilt
+    deterministically from the same :class:`~repro.scenario.Scenario`.
+    The checkpoint is verified first; a torn or tampered one raises
+    :class:`CheckpointError` before any kernel state is touched.
+    """
+    from repro.sim.kernel import Kernel
+
+    checkpoint.verify()
+    state = checkpoint.state
+    kernel = Kernel(config)
+
+    tasks = list(config.tasks)
+    jobs = [_decode_job(doc, tasks) for doc in state["jobs"]]
+
+    kernel._clock = state["clock"]
+    kernel._events_handled = state["events_handled"]
+    kernel._last_ckpt_event = state["last_ckpt_event"]
+    kernel._last_ckpt_clock = state["last_ckpt_clock"]
+    kernel._next_jid = list(state["next_jid"])
+    kernel._live = [jobs[i] for i in state["live"]]
+    kernel._running = (None if state["running"] is None
+                       else jobs[state["running"]])
+    kernel._running_since = state["running_since"]
+    kernel._kernel_free_at = state["kernel_free_at"]
+
+    queue = EventQueue()
+    queue._sequence = state["queue"]["sequence"]
+    queue._heap = [
+        (time, priority, sequence, _decode_event(payload, jobs))
+        for time, priority, sequence, payload in state["queue"]["heap"]
+    ]
+    kernel._queue = queue
+
+    locks = kernel._locks
+    locks._owner = {obj: jobs[i] for obj, i in state["locks"]["owner"]}
+    locks._waiters = {obj: [jobs[i] for i in waiting]
+                      for obj, waiting in state["locks"]["waiters"]}
+    locks._held = {jobs[i]: list(held)
+                   for i, held in state["locks"]["held"]}
+    locks.acquisitions = state["locks"]["acquisitions"]
+    locks.contentions = state["locks"]["contentions"]
+    locks.version = state["locks"]["version"]
+
+    table = kernel._objects
+    table._objects = {
+        obj: _ObjectState(write_version=doc["write_version"],
+                          any_version=doc["any_version"],
+                          commits=doc["commits"])
+        for obj, doc in state["objects"]["states"]
+    }
+    table._open = {
+        jobs[i]: _OpenAccess(
+            obj=doc["obj"], kind=AccessKind(doc["kind"]),
+            write_version_seen=doc["write_version_seen"],
+            any_version_seen=doc["any_version_seen"],
+            retries=doc["retries"])
+        for i, doc in state["objects"]["open"]
+    }
+    table.total_retries = state["objects"]["total_retries"]
+
+    result = kernel._result
+    result.records = [_decode_record(doc)
+                      for doc in state["result"]["records"]]
+    result.scheduler_invocations = state["result"]["scheduler_invocations"]
+    result.scheduler_overhead_time = \
+        state["result"]["scheduler_overhead_time"]
+    result.idle_time = state["result"]["idle_time"]
+    result.lock_mechanism_time = state["result"]["lock_mechanism_time"]
+    result.lockfree_mechanism_time = \
+        state["result"]["lockfree_mechanism_time"]
+    result.lock_access_commits = state["result"]["lock_access_commits"]
+    result.lockfree_access_commits = \
+        state["result"]["lockfree_access_commits"]
+    result.lockfree_attempts = state["result"]["lockfree_attempts"]
+
+    report = kernel._report
+    if "report" in state:
+        if report is None:
+            raise CheckpointError(
+                "checkpoint carries a degradation report but the config "
+                "enables no fault/degradation layer")
+        doc = state["report"]
+        report.injected_arrivals = doc["injected_arrivals"]
+        report.injected_overruns = doc["injected_overruns"]
+        report.forced_retries = doc["forced_retries"]
+        report.jittered_charges = doc["jittered_charges"]
+        report.timer_faults = doc["timer_faults"]
+        report.shed_jobs = doc["shed_jobs"]
+        report.deferred_jobs = doc["deferred_jobs"]
+        report.deferred_delay_total = doc["deferred_delay_total"]
+        report.retry_aborts = doc["retry_aborts"]
+        report.backoff_time = doc["backoff_time"]
+        report.violations = [InvariantViolation(**v)
+                             for v in doc["violations"]]
+    elif report is not None:
+        raise CheckpointError(
+            "config enables the fault/degradation layer but the "
+            "checkpoint carries no degradation report")
+
+    if "injector" in state:
+        injector = kernel._injector
+        if injector is None:
+            raise CheckpointError(
+                "checkpoint carries injector state but the config has "
+                "no active fault plan")
+        doc = state["injector"]
+        version, internal, gauss = doc["rng"]
+        injector._jitter_rng.setstate((version, tuple(internal), gauss))
+        injector._overruns_applied = {tuple(key)
+                                      for key in doc["overruns_applied"]}
+        injector._retry_budgets = list(doc["retry_budgets"])
+        injector._timer_faults_fired = {
+            tuple(key) for key in doc["timer_faults_fired"]}
+    if "admission" in state:
+        guard = kernel._admission
+        if guard is None:
+            raise CheckpointError(
+                "checkpoint carries admission state but the config has "
+                "no admission policy")
+        if len(state["admission"]) != len(guard._counters):
+            raise CheckpointError("admission counter count mismatch")
+        for counter, doc in zip(guard._counters, state["admission"]):
+            counter._admitted = list(doc["admitted"])
+            counter._left = doc["left"]
+    if "monitors" in state:
+        monitors = kernel._monitors
+        if monitors is None:
+            raise CheckpointError(
+                "checkpoint carries monitor state but the config does "
+                "not enable monitors")
+        monitors._last_clock = state["monitors"]["last_clock"]
+        monitors._flagged = {tuple(key)
+                             for key in state["monitors"]["flagged"]}
+    if "trace" in state and kernel.tracer.enabled:
+        kernel.tracer.events = [
+            TraceEvent(time=doc["time"], kind=TraceKind(doc["kind"]),
+                       job=doc["job"], detail=doc["detail"])
+            for doc in state["trace"]
+        ]
+
+    # A restored kernel must never replay a pass memoized before the
+    # snapshot: serials changed and Job identities are new objects.
+    config.policy.reset_caches()
+    kernel._restored = True
+    return kernel

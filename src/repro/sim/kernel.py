@@ -42,6 +42,12 @@ from repro.faults.monitors import MonitorSuite
 from repro.faults.plan import FaultPlan
 from repro.faults.report import DegradationReport
 from repro.obs.observer import NULL_OBSERVER, NullObserver
+from repro.sim.checkpoint import (
+    CheckpointPolicy,
+    KernelCheckpoint,
+    restore_kernel,
+    snapshot_kernel,
+)
 from repro.sim.engine import EventQueue
 from repro.sim.events import (
     CriticalTimeExpiry,
@@ -111,6 +117,13 @@ class SimulationConfig:
     monitors: bool = False
     # --- observability (optional; see repro.obs) -----------------------
     observer: NullObserver | None = None
+    # --- crash recovery (optional; see repro.sim.checkpoint) ------------
+    #: When set, the kernel snapshots itself mid-run at the policy's
+    #: cadence; each :class:`KernelCheckpoint` goes to ``checkpoint_sink``
+    #: (a callable), or accumulates on ``Kernel.checkpoints`` when no
+    #: sink is given.  Checkpointing never perturbs the simulation.
+    checkpoints: CheckpointPolicy | None = None
+    checkpoint_sink: "object | None" = None
 
     def __post_init__(self) -> None:
         if len(self.tasks) != len(self.arrival_traces):
@@ -197,6 +210,16 @@ class Kernel:
         # jid counters continue past each declared trace so injected
         # burst arrivals get unique job names.
         self._next_jid = [len(t) for t in config.arrival_traces]
+        # --- crash recovery -------------------------------------------
+        #: Snapshots collected when checkpointing is on but no sink is
+        #: configured (tests and in-process consumers read this).
+        self.checkpoints: list[KernelCheckpoint] = []
+        self._events_handled = 0
+        self._last_ckpt_event = 0
+        self._last_ckpt_clock = 0
+        #: True on a kernel rebuilt by :meth:`restore`: ``run`` must not
+        #: re-prime arrivals (the queue already holds the future).
+        self._restored = False
 
     # ------------------------------------------------------------------
     # Public API
@@ -212,7 +235,9 @@ class Kernel:
                 f"already ran with horizon={self.config.horizon})"
             )
         self._finished = True
-        self._prime_arrivals()
+        if not self._restored:
+            self._prime_arrivals()
+        ckpt_policy = self.config.checkpoints
         while self._queue:
             next_time = self._queue.peek_time()
             if next_time is None or next_time > self.config.horizon:
@@ -223,6 +248,10 @@ class Kernel:
             self._advance_running_to(time)
             self._clock = time
             self._handle(event)
+            self._events_handled += 1
+            if ckpt_policy is not None and \
+                    self._checkpoint_due(ckpt_policy):
+                self._emit_checkpoint()
         # The live set contains exactly the unfinished jobs — completed
         # and aborted jobs are removed at their transition (previously
         # this re-scanned a stale list that could still carry departed
@@ -233,6 +262,45 @@ class Kernel:
             self.obs.close_open_spans(self._clock)
             self._result.obs = self.obs.summary()
         return self._result
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (crash recovery; see repro.sim.checkpoint)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> KernelCheckpoint:
+        """Capture the complete current simulation state as a versioned,
+        digest-stamped, JSON-serializable checkpoint."""
+        return snapshot_kernel(self)
+
+    @classmethod
+    def restore(cls, config: SimulationConfig,
+                checkpoint: KernelCheckpoint) -> "Kernel":
+        """Rebuild a runnable kernel from a checkpoint taken by
+        :meth:`snapshot` under an equivalent ``config``.  The returned
+        kernel's :meth:`run` finishes the simulation byte-identically to
+        the uninterrupted run."""
+        return restore_kernel(config, checkpoint)
+
+    def _checkpoint_due(self, policy: CheckpointPolicy) -> bool:
+        due = (policy.every_events is not None
+               and self._events_handled - self._last_ckpt_event
+               >= policy.every_events)
+        if not due and policy.every_ns is not None:
+            due = (self._clock - self._last_ckpt_clock
+                   >= policy.every_ns)
+        return due
+
+    def _emit_checkpoint(self) -> None:
+        # Markers move *before* snapshotting so they are captured inside
+        # the checkpoint: a restored run keeps the original cadence.
+        self._last_ckpt_event = self._events_handled
+        self._last_ckpt_clock = self._clock
+        checkpoint = self.snapshot()
+        sink = self.config.checkpoint_sink
+        if sink is None:
+            self.checkpoints.append(checkpoint)
+        else:
+            sink(checkpoint)
 
     # ------------------------------------------------------------------
     # Setup

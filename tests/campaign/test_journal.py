@@ -132,6 +132,53 @@ class TestCorruptionHandling:
             CampaignJournal.open(path, "campaign-b")
 
 
+class TestDurability:
+    """Regression: ``open()`` must fsync the parent directory, or a
+    freshly created journal's *name* can vanish in a crash even though
+    its bytes were fsynced — the classic create-without-dir-fsync
+    hole."""
+
+    @pytest.fixture
+    def fsync_calls(self, monkeypatch):
+        import repro.campaign.journal as journal_mod
+
+        calls: list = []
+        real = journal_mod._fsync_dir
+
+        def recording(path):
+            calls.append(path)
+            real(path)
+
+        monkeypatch.setattr(journal_mod, "_fsync_dir", recording)
+        return calls
+
+    def test_open_fsyncs_parent_dir_on_create(self, tmp_path, fsync_calls):
+        path = tmp_path / "c.jsonl"
+        CampaignJournal.open(path, "t").close()
+        assert tmp_path in fsync_calls
+
+    def test_open_fsyncs_parent_dir_on_reopen(self, tmp_path, fsync_calls):
+        path = tmp_path / "c.jsonl"
+        CampaignJournal.open(path, "t").close()
+        fsync_calls.clear()
+        CampaignJournal.open(path, "t").close()
+        assert tmp_path in fsync_calls
+
+    def test_open_fsyncs_after_torn_tail_repair(self, tmp_path,
+                                                fsync_calls):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal.open(path, "t") as journal:
+            journal.record(TrialOutcome(index=0, ok=True, value="a",
+                                        attempts=1))
+        # Tear the newline off the final record, then reopen: the repair
+        # path rewrites the tail and must still reach the dir fsync.
+        path.write_text(path.read_text().rstrip("\n"))
+        fsync_calls.clear()
+        CampaignJournal.open(path, "t").close()
+        assert tmp_path in fsync_calls
+        assert load_journal(path).completed == 1
+
+
 class TestEngineResume:
     def test_resume_replays_without_recomputation(self, tmp_path):
         path = tmp_path / "c.jsonl"

@@ -1,0 +1,25 @@
+"""Subprocess body for the serve crash harness: a real ServeApp with a
+write-ahead request log.  Prints its URL on the first line, then serves
+until killed.  The parent test SIGKILLs it mid-flight and restarts it
+against the same cache directory and request log."""
+
+import sys
+import time
+
+from repro.serve import ServeApp, ServeConfig
+
+
+def main() -> int:
+    cache_dir, request_log = sys.argv[1:3]
+    port = int(sys.argv[3]) if len(sys.argv) > 3 else 0
+    app = ServeApp(ServeConfig(workers=2, cache_dir=cache_dir,
+                               request_log=request_log, port=port,
+                               queue_capacity=64,
+                               trial_timeout=60.0)).start()
+    print(app.url, flush=True)
+    while True:
+        time.sleep(0.2)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

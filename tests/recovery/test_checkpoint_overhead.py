@@ -1,0 +1,49 @@
+"""Overhead guard: checkpointing machinery must be free when disabled.
+
+Mirrors the DESIGN.md §10 observability guard: with ``checkpoints=None``
+(the default) the kernel's checkpoint hook is a single attribute test
+per event, and an armed-but-idle policy (interval larger than the run)
+costs only an integer compare.  Both must stay within 5 % of the plain
+min-of-N baseline, interleaved so machine drift hits every arm equally.
+"""
+
+import time
+
+from repro.api import quick_scenario, simulate
+from repro.sim.checkpoint import CheckpointPolicy
+
+SEED = 99
+ROUNDS = 5
+#: Timer-granularity slack; see tests/obs/test_overhead.py.
+SLACK_S = 0.002
+
+
+def _reference_run(policy=None):
+    # ~60 ms wall: large enough for a 5 % relative gate on min-of-N.
+    scenario = quick_scenario(n_tasks=4, n_objects=3, sync="lockfree",
+                              load=1.0, horizon_us=200_000, seed=SEED)
+    sink = [].append if policy is not None else None
+    return simulate(scenario, checkpoints=policy, checkpoint_sink=sink)
+
+
+def test_disabled_checkpointing_within_5_percent_of_baseline():
+    baseline = float("inf")
+    disabled = float("inf")
+    armed_idle = float("inf")
+    never = CheckpointPolicy(every_events=10**9)
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        _reference_run(policy=None)
+        baseline = min(baseline, time.perf_counter() - start)
+        start = time.perf_counter()
+        _reference_run(policy=None)
+        disabled = min(disabled, time.perf_counter() - start)
+        start = time.perf_counter()
+        _reference_run(policy=never)
+        armed_idle = min(armed_idle, time.perf_counter() - start)
+    assert disabled <= baseline * 1.05 + SLACK_S, (
+        f"checkpoint-disabled run {disabled:.4f}s exceeds baseline "
+        f"{baseline:.4f}s by more than 5%")
+    assert armed_idle <= baseline * 1.05 + SLACK_S, (
+        f"armed-but-idle policy run {armed_idle:.4f}s exceeds baseline "
+        f"{baseline:.4f}s by more than 5%")
